@@ -1,0 +1,331 @@
+// Package edcache_bench holds the benchmark harness: one testing.B
+// target per paper table/figure (see DESIGN.md's experiment index).
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark reports, via b.ReportMetric, the headline quantity of
+// its experiment (EPI saving in percent, yields, cell sizes), so
+// `go test -bench` output doubles as a compact reproduction record.
+package edcache_bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"edcache/internal/bench"
+	"edcache/internal/bitcell"
+	"edcache/internal/core"
+	"edcache/internal/ecc"
+	"edcache/internal/faults"
+	"edcache/internal/wcet"
+	"edcache/internal/yield"
+)
+
+const benchInstructions = 120_000
+
+func suite(m core.Mode) []bench.Workload {
+	ws := core.PaperModeWorkloads(m)
+	for i := range ws {
+		ws[i] = ws[i].ScaledTo(benchInstructions)
+	}
+	return ws
+}
+
+func runPoint(b *testing.B, s yield.Scenario, m core.Mode) {
+	b.Helper()
+	var saving, timeInc float64
+	for i := 0; i < b.N; i++ {
+		pairs, err := core.RunPairs(s, m, suite(m))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := core.Summarize(s, m, pairs)
+		saving = sum.AvgSavingPct
+		timeInc = sum.AvgTimeIncreasePct
+	}
+	b.ReportMetric(saving, "EPI-saving-%")
+	b.ReportMetric(timeInc, "time-increase-%")
+}
+
+// BenchmarkFig3HPMode regenerates Figure 3 (E1): normalized average EPI
+// at HP mode, scenarios A and B. Paper: 14 % and 12 % savings.
+func BenchmarkFig3HPMode(b *testing.B) {
+	b.Run("scenarioA", func(b *testing.B) { runPoint(b, yield.ScenarioA, core.ModeHP) })
+	b.Run("scenarioB", func(b *testing.B) { runPoint(b, yield.ScenarioB, core.ModeHP) })
+}
+
+// BenchmarkFig4ULEMode regenerates Figure 4 (E2): normalized EPI at ULE
+// mode, scenarios A and B. Paper: 42 % and 39 % savings, ~3 % slowdown.
+func BenchmarkFig4ULEMode(b *testing.B) {
+	b.Run("scenarioA", func(b *testing.B) { runPoint(b, yield.ScenarioA, core.ModeULE) })
+	b.Run("scenarioB", func(b *testing.B) { runPoint(b, yield.ScenarioB, core.ModeULE) })
+}
+
+// BenchmarkSizingMethodology regenerates the Fig. 2 walkthrough (E4),
+// reporting the sized cells. Paper's example: Pf = 1.22e-6.
+func BenchmarkSizingMethodology(b *testing.B) {
+	for _, s := range []yield.Scenario{yield.ScenarioA, yield.ScenarioB} {
+		b.Run("scenario"+s.String(), func(b *testing.B) {
+			var res yield.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = yield.Run(yield.PaperInput(s))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.PfTarget*1e6, "Pf-target-x1e6")
+			b.ReportMetric(res.BaselineCell.Size, "10T-size")
+			b.ReportMetric(res.ProposedCell.Size, "8T-size")
+			b.ReportMetric(float64(len(res.Iterations)), "fig2-iterations")
+		})
+	}
+}
+
+// BenchmarkAreaModel regenerates the area comparison (E5), reporting the
+// proposed design's total-area reduction in percent.
+func BenchmarkAreaModel(b *testing.B) {
+	for _, s := range []yield.Scenario{yield.ScenarioA, yield.ScenarioB} {
+		b.Run("scenario"+s.String(), func(b *testing.B) {
+			var reduction float64
+			for i := 0; i < b.N; i++ {
+				base := core.MustNewSystem(core.PaperConfig(s, core.Baseline)).Area()
+				prop := core.MustNewSystem(core.PaperConfig(s, core.Proposed)).Area()
+				reduction = 100 * (1 - prop.Total()/base.Total())
+			}
+			b.ReportMetric(reduction, "area-saving-%")
+		})
+	}
+}
+
+// BenchmarkYieldEquations measures the Eq. (1)/(2) evaluation (E6).
+func BenchmarkYieldEquations(b *testing.B) {
+	g := yield.PaperWay()
+	var y float64
+	for i := 0; i < b.N; i++ {
+		y = yield.WaySurvival(1.5e-4, g, 7, 7, 1)
+	}
+	b.ReportMetric(y, "way-yield")
+}
+
+// BenchmarkReliabilityCampaign measures the Monte-Carlo fault campaign
+// (E7): silicon samples per second and the resulting MC yield.
+func BenchmarkReliabilityCampaign(b *testing.B) {
+	res, err := yield.Run(yield.PaperInput(yield.ScenarioA))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := faults.WayGeometry{Lines: 32, WordsPerLine: 8, DataWordBits: 39, TagWordBits: 33}
+	usable, total := 0, 0
+	for i := 0; i < b.N; i++ {
+		m, err := faults.Generate(g, res.ProposedPf, rand.New(rand.NewSource(int64(i))))
+		if err != nil {
+			b.Fatal(err)
+		}
+		total++
+		if m.Usable(1) {
+			usable++
+		}
+	}
+	b.ReportMetric(float64(usable)/float64(total), "mc-yield")
+}
+
+// BenchmarkWaySplitAblation runs ablation A1 (7+1 vs 6+2).
+func BenchmarkWaySplitAblation(b *testing.B) {
+	w, err := bench.ByName("adpcm_c")
+	if err != nil {
+		b.Fatal(err)
+	}
+	w = w.ScaledTo(benchInstructions)
+	for _, ule := range []int{1, 2} {
+		name := map[int]string{1: "7+1", 2: "6+2"}[ule]
+		b.Run(name, func(b *testing.B) {
+			var saving float64
+			for i := 0; i < b.N; i++ {
+				cb := core.PaperConfig(yield.ScenarioA, core.Baseline)
+				cb.ULEWays = ule
+				cp := core.PaperConfig(yield.ScenarioA, core.Proposed)
+				cp.ULEWays = ule
+				rb, err := core.MustNewSystem(cb).Run(w, core.ModeULE)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rp, err := core.MustNewSystem(cp).Run(w, core.ModeULE)
+				if err != nil {
+					b.Fatal(err)
+				}
+				saving = 100 * (1 - rp.EPI.Total()/rb.EPI.Total())
+			}
+			b.ReportMetric(saving, "ULE-EPI-saving-%")
+		})
+	}
+}
+
+// BenchmarkMemLatencyAblation runs ablation A2 (trend stability).
+func BenchmarkMemLatencyAblation(b *testing.B) {
+	w, err := bench.ByName("gsm_c")
+	if err != nil {
+		b.Fatal(err)
+	}
+	w = w.ScaledTo(benchInstructions)
+	for _, lat := range []int{10, 20, 40, 80} {
+		b.Run(map[int]string{10: "lat10", 20: "lat20", 40: "lat40", 80: "lat80"}[lat], func(b *testing.B) {
+			var saving float64
+			for i := 0; i < b.N; i++ {
+				cb := core.PaperConfig(yield.ScenarioA, core.Baseline)
+				cb.MemLatency = lat
+				cp := core.PaperConfig(yield.ScenarioA, core.Proposed)
+				cp.MemLatency = lat
+				rb, err := core.MustNewSystem(cb).Run(w, core.ModeHP)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rp, err := core.MustNewSystem(cp).Run(w, core.ModeHP)
+				if err != nil {
+					b.Fatal(err)
+				}
+				saving = 100 * (1 - rp.EPI.Total()/rb.EPI.Total())
+			}
+			b.ReportMetric(saving, "HP-EPI-saving-%")
+		})
+	}
+}
+
+// BenchmarkSECDEDCodec measures raw encode+decode throughput of the
+// Hsiao codec (microbenchmark backing the EDC energy/latency modelling).
+func BenchmarkSECDEDCodec(b *testing.B) {
+	c, err := ecc.NewSECDED(32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		cw := c.Encode(uint64(i) & 0xFFFFFFFF)
+		d, _ := c.Decode(cw ^ 1<<uint(i%39))
+		sink += d
+	}
+	_ = sink
+}
+
+// BenchmarkDECTEDCodec measures the BCH DECTED codec with double-error
+// correction on every word.
+func BenchmarkDECTEDCodec(b *testing.B) {
+	c, err := ecc.NewDECTED(32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		cw := c.Encode(uint64(i) & 0xFFFFFFFF)
+		d, _ := c.Decode(cw ^ 1<<uint(i%45) ^ 1<<uint((i*7)%45))
+		sink += d
+	}
+	_ = sink
+}
+
+// BenchmarkImportanceSampling measures the Chen-style failure estimator.
+func BenchmarkImportanceSampling(b *testing.B) {
+	cell := bitcell.MustNew(bitcell.T10, 2.6)
+	var pf float64
+	for i := 0; i < b.N; i++ {
+		pf = bitcell.MonteCarloFailureProb(cell, 0.35, 10_000, int64(i)).Pf
+	}
+	b.ReportMetric(pf*1e6, "Pf-x1e6")
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed
+// (instructions per second) of the full system model.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	sys := core.MustNewSystem(core.PaperConfig(yield.ScenarioA, core.Proposed))
+	w, err := bench.ByName("gsm_c")
+	if err != nil {
+		b.Fatal(err)
+	}
+	w = w.ScaledTo(benchInstructions)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Run(w, core.ModeHP); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(benchInstructions))
+}
+
+// BenchmarkWCETAnalysis runs experiment E8: the WCET bound comparison
+// between the EDC design and worst-case faulty-entry disabling.
+func BenchmarkWCETAnalysis(b *testing.B) {
+	body := make([]wcet.Access, 8)
+	for i := range body {
+		body[i] = wcet.Access{Line: uint32(i)}
+	}
+	loop := wcet.Loop{Name: "kernel", Body: body, Iterations: 1000, NonMemCycles: 24}
+	spec := wcet.CacheSpec{Sets: 32, Ways: 1, HitLatency: 1, MissLatency: 20}
+	var edcInfl, disInfl float64
+	for i := 0; i < b.N; i++ {
+		base, err := wcet.Analyze(spec, loop)
+		if err != nil {
+			b.Fatal(err)
+		}
+		edcSpec := spec
+		edcSpec.HitLatency = 2
+		edc, err := wcet.Analyze(edcSpec, loop)
+		if err != nil {
+			b.Fatal(err)
+		}
+		curve, err := wcet.InflationCurve(spec, loop, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		edcInfl = 100 * (float64(edc.WCETCycles)/float64(base.WCETCycles) - 1)
+		disInfl = 100 * (curve[7] - 1)
+	}
+	b.ReportMetric(edcInfl, "EDC-WCET-inflation-%")
+	b.ReportMetric(disInfl, "disabling-WCET-inflation-%")
+}
+
+// BenchmarkDutyCycle measures the duty-cycled multi-phase simulation
+// with mode switches (the sensor-node deployment scenario).
+func BenchmarkDutyCycle(b *testing.B) {
+	sys := core.MustNewSystem(core.PaperConfig(yield.ScenarioA, core.Proposed))
+	small, err := bench.ByName("adpcm_c")
+	if err != nil {
+		b.Fatal(err)
+	}
+	big, err := bench.ByName("gsm_c")
+	if err != nil {
+		b.Fatal(err)
+	}
+	phases := []core.Phase{
+		{Mode: core.ModeULE, Workload: small.ScaledTo(60000)},
+		{Mode: core.ModeHP, Workload: big.ScaledTo(60000)},
+		{Mode: core.ModeULE, Workload: small.ScaledTo(60000)},
+	}
+	var pw float64
+	for i := 0; i < b.N; i++ {
+		res, err := sys.RunDutyCycle(phases)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pw = res.AvgPowerW() * 1e6
+	}
+	b.ReportMetric(pw, "avg-power-uW")
+}
+
+// BenchmarkInterleavedBurst measures the 4-way interleaved SECDED codec
+// on full-length bursts (ablation A4's fault model).
+func BenchmarkInterleavedBurst(b *testing.B) {
+	c, err := ecc.NewInterleaved(ecc.KindSECDED, 8, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cw := c.Encode(0xDEADBEEF)
+	n := ecc.TotalBits(c)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		start := i % (n - 4)
+		d, _ := c.Decode(cw ^ 0xF<<uint(start))
+		sink += d
+	}
+	_ = sink
+}

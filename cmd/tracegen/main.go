@@ -1,0 +1,107 @@
+// Command tracegen materialises a synthetic MediaBench-like workload as
+// a binary trace file that cmd/hybridsim (and any Stream consumer) can
+// replay byte-identically — the generate-once, replay-everywhere
+// workflow of trace-driven evaluations.
+//
+// Usage:
+//
+//	tracegen -workload gsm_c -instructions 300000 -o gsm_c.trace
+//	tracegen -verify gsm_c.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edcache/internal/bench"
+	"edcache/internal/trace"
+)
+
+var (
+	workload     = flag.String("workload", "", "benchmark to generate (see hybridsim -list)")
+	instructions = flag.Int("instructions", 300_000, "dynamic instruction count")
+	out          = flag.String("o", "", "output trace file (default: <workload>.trace)")
+	verify       = flag.String("verify", "", "validate an existing trace file and print its stats")
+)
+
+func main() {
+	flag.Parse()
+	if *verify != "" {
+		if err := verifyTrace(*verify); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *workload == "" {
+		fail(fmt.Errorf("need -workload or -verify"))
+	}
+	w, err := bench.ByName(*workload)
+	if err != nil {
+		fail(err)
+	}
+	w = w.ScaledTo(*instructions)
+	path := *out
+	if path == "" {
+		path = w.Name + ".trace"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	n, err := trace.Write(f, w.Stream())
+	if err != nil {
+		f.Close()
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %d instructions of %s to %s\n", n, w.Name, path)
+}
+
+func verifyTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	var n, loads, stores, branches int
+	for {
+		inst, ok := r.Next()
+		if !ok {
+			break
+		}
+		n++
+		switch {
+		case inst.IsLoad:
+			loads++
+		case inst.IsStore:
+			stores++
+		case inst.IsBranch:
+			branches++
+		}
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d instructions (%.1f%% loads, %.1f%% stores, %.1f%% branches) — valid\n",
+		path, n, pct(loads, n), pct(stores, n), pct(branches, n))
+	return nil
+}
+
+func pct(a, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(n)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,127 @@
+// Faultinjection demonstrates the architecture's reliability story
+// functionally, bit by bit: it manufactures a ULE way with hard faults
+// drawn at the methodology's sized-8T fault rate, runs a write/read
+// sweep over every word through the real SECDED/DECTED codecs, then
+// layers soft errors on top — showing exactly which design survives
+// which fault pattern, and why scenario B needs DECTED.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"edcache/internal/core"
+	"edcache/internal/ecc"
+	"edcache/internal/faults"
+	"edcache/internal/yield"
+)
+
+func main() {
+	res, err := yield.Run(yield.PaperInput(yield.ScenarioA))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2013)) // DATE 2013
+
+	// Manufacture one ULE way's silicon at the sized 8T fault rate.
+	geom := faults.WayGeometry{Lines: 32, WordsPerLine: 8, DataWordBits: 39, TagWordBits: 33}
+	fmap, err := faults.Generate(geom, res.ProposedPf*20, rng) // exaggerated Pf so a demo die has several faults
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("manufactured ULE way: %d stuck-at cells across %d bits (Pf x20 for demo)\n",
+		fmap.Count(), geom.TotalBits())
+	fmt.Printf("worst word has %d faults; usable under SECDED (≤1/word): %v\n\n",
+		fmap.MaxPerWord(), fmap.Usable(1))
+
+	// Scenario A: 8T + SECDED. Every word is written and read back.
+	way, err := core.NewProtectedWay(32, 8, ecc.KindSECDED, 32, 26, fmap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok, corrected, detected := 0, 0, 0
+	for line := 0; line < 32; line++ {
+		for word := 0; word < 8; word++ {
+			want := rng.Uint64() & 0xFFFFFFFF
+			way.WriteData(line, word, want)
+			got, r := way.ReadData(line, word)
+			switch {
+			case r.Status == ecc.Detected:
+				detected++
+			case got != want:
+				log.Fatalf("silent corruption at (%d,%d)", line, word)
+			case r.Status == ecc.Corrected:
+				corrected++
+			default:
+				ok++
+			}
+		}
+	}
+	fmt.Printf("scenario A sweep over 256 data words: %d clean, %d corrected by SECDED, %d uncorrectable\n",
+		ok, corrected, detected)
+	fmt.Println("-> wherever the code's guarantee holds (≤1 hard fault per word) the stored value")
+	fmt.Println("   came back exactly; hard faults are invisible to software. (This demo die was")
+	fmt.Println("   drawn at 20x the sized Pf, so a beyond-spec multi-fault word may appear —")
+	fmt.Println("   at the real sized Pf such dies are what the 99% yield target excludes.)")
+
+	// The counterfactual the paper's baseline rejects: the same faulty
+	// silicon with no coding returns corrupted data.
+	bare, err := core.NewProtectedWay(32, 8, ecc.KindNone, 39, 33, fmap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	corrupt := 0
+	for line := 0; line < 32; line++ {
+		for word := 0; word < 8; word++ {
+			want := rng.Uint64() & ((1 << 39) - 1)
+			bare.WriteData(line, word, want)
+			if got, _ := bare.ReadData(line, word); got != want {
+				corrupt++
+			}
+		}
+	}
+	fmt.Printf("\nsame silicon without EDC: %d of 256 words return corrupted data\n", corrupt)
+	fmt.Println("-> without coding these entries must be disabled, destroying the WCET guarantees")
+	fmt.Println("   critical applications need (the paper's argument for large 10T cells or EDC).")
+
+	// Scenario B: a hard fault plus a soft error in the same word.
+	fmt.Println("\nscenario B: hard fault + soft error in the same word")
+	geomB := faults.WayGeometry{Lines: 32, WordsPerLine: 8, DataWordBits: 45, TagWordBits: 39}
+	fmB := faults.Empty(geomB)
+	fmB.Inject(faults.WordKey{Line: 3, Word: 1}, faults.BitFault{Pos: 11, Stuck: 1})
+	wayB, err := core.NewProtectedWay(32, 8, ecc.KindDECTED, 32, 26, fmB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wayB.WriteData(3, 1, 0x600DCAFE)
+	wayB.InjectSoftError(3, 1, rng)
+	got, r := wayB.ReadData(3, 1)
+	fmt.Printf("  DECTED read: %#x, status %v (%d bits repaired)\n", got, r.Status, r.Corrected)
+
+	// Same pattern against SECDED: stuck-at-0 under a written 1 (a
+	// manifest hard fault) plus one soft error elsewhere is a double
+	// error — detected, not correctable.
+	waySec, err := core.NewProtectedWay(32, 8, ecc.KindSECDED, 32, 26, func() *faults.WayFaults {
+		g := faults.WayGeometry{Lines: 32, WordsPerLine: 8, DataWordBits: 39, TagWordBits: 33}
+		m := faults.Empty(g)
+		m.Inject(faults.WordKey{Line: 3, Word: 1}, faults.BitFault{Pos: 11, Stuck: 0})
+		return m
+	}())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for {
+		waySec.WriteData(3, 1, 0x600DCAFE) // bit 11 is 1: the stuck-at-0 cell disagrees
+		waySec.InjectSoftError(3, 1, rng)
+		_, r2 := waySec.ReadData(3, 1)
+		if r2.Status == ecc.Detected {
+			fmt.Printf("  SECDED read: status %v — detected but NOT correctable\n", r2.Status)
+			break
+		}
+		// The soft error occasionally lands on the faulty bit itself,
+		// leaving a correctable single error; retry for the real case.
+	}
+	fmt.Println("-> with soft errors in the requirement (scenario B), SECDED is not enough;")
+	fmt.Println("   the proposed design upgrades the ULE way to DECTED exactly for this case.")
+}

@@ -1,0 +1,62 @@
+// Quickstart: build the paper's scenario-A systems (baseline 6T+10T vs
+// proposed 6T+8T+SECDED), run one workload per operating mode, and print
+// the energy-per-instruction comparison — the smallest end-to-end use of
+// the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"edcache/internal/bench"
+	"edcache/internal/core"
+	"edcache/internal/yield"
+)
+
+func main() {
+	// 1. Configure and size both designs. NewSystem runs the paper's
+	// Fig. 2 design methodology internally: it derives the fault-free
+	// Pf requirement from the 99 % yield target, sizes the 10T baseline
+	// cell and iterates the 8T+SECDED cell until yield matches.
+	baseline, err := core.NewSystem(core.PaperConfig(yield.ScenarioA, core.Baseline))
+	if err != nil {
+		log.Fatal(err)
+	}
+	proposed, err := core.NewSystem(core.PaperConfig(yield.ScenarioA, core.Proposed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sized cells: baseline ULE way %v, proposed ULE way %v\n\n",
+		baseline.ULEWayArray().Cell, proposed.ULEWayArray().Cell)
+
+	// 2. HP mode (1 V, 1 GHz): a BigBench workload on the full 8-way cache.
+	big, err := bench.ByName("gsm_c")
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("HP mode, gsm_c", baseline, proposed, big, core.ModeHP)
+
+	// 3. ULE mode (350 mV, 5 MHz): a SmallBench workload on the single
+	// ULE way (HP ways are gated off).
+	small, err := bench.ByName("adpcm_c")
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("ULE mode, adpcm_c", baseline, proposed, small, core.ModeULE)
+}
+
+func show(title string, baseline, proposed *core.System, w bench.Workload, m core.Mode) {
+	rb, err := baseline.Run(w, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rp, err := proposed.Run(w, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s:\n", title)
+	fmt.Printf("  baseline EPI %.3f pJ, proposed EPI %.3f pJ -> saving %.1f%%\n",
+		rb.EPI.Total(), rp.EPI.Total(), 100*(1-rp.EPI.Total()/rb.EPI.Total()))
+	fmt.Printf("  execution time: baseline %.2f ms, proposed %.2f ms (%+.2f%%)\n\n",
+		rb.TimeNS/1e6, rp.TimeNS/1e6, 100*(rp.TimeNS/rb.TimeNS-1))
+}

@@ -1,0 +1,126 @@
+// Sensornode models the paper's motivating deployment: a battery-powered
+// environmental sensor that spends almost all of its life in ULE mode
+// processing small workloads and wakes to HP mode only for infrequent
+// events (0.01 %–1 % of the time; Szewczyk et al., reference [19]). It
+// composes the library's full-system reports into an average-power and
+// battery-lifetime estimate for the baseline and proposed caches.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"edcache/internal/bench"
+	"edcache/internal/core"
+	"edcache/internal/stats"
+	"edcache/internal/yield"
+)
+
+// CR2032-class coin cell: ~225 mAh at 3 V ≈ 2430 J.
+const batteryJoules = 2430.0
+
+func main() {
+	for _, s := range []yield.Scenario{yield.ScenarioA, yield.ScenarioB} {
+		fmt.Printf("=== Scenario %v ===\n", s)
+		tb := stats.NewTable("duty (ULE share)", "baseline avg power", "proposed avg power", "baseline lifetime", "proposed lifetime", "gain")
+		for _, uleShare := range []float64{0.99, 0.999, 0.9999} {
+			pb, err := avgPower(s, core.Baseline, uleShare)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pp, err := avgPower(s, core.Proposed, uleShare)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tb.AddRow(
+				fmt.Sprintf("%.2f%%", uleShare*100),
+				fmt.Sprintf("%.1f uW", pb*1e6),
+				fmt.Sprintf("%.1f uW", pp*1e6),
+				lifetime(pb), lifetime(pp),
+				stats.Pct(pb/pp-1),
+			)
+		}
+		fmt.Print(tb.String())
+		fmt.Println()
+	}
+	fmt.Println("Power is dominated by ULE mode at realistic duty cycles, which is why the")
+	fmt.Println("paper optimises the ULE way so aggressively: the 8T+EDC cache stretches the")
+	fmt.Println("same coin cell by roughly the ULE-mode EPI saving.")
+
+	// A concrete duty-cycled schedule through the mode-switch machinery:
+	// sense in ULE mode, wake to HP for an event burst, return to ULE.
+	fmt.Println("\n=== One wake-up cycle (explicit mode switches) ===")
+	sys, err := core.NewSystem(core.PaperConfig(yield.ScenarioA, core.Proposed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	small, err := bench.ByName("adpcm_c")
+	if err != nil {
+		log.Fatal(err)
+	}
+	big, err := bench.ByName("gsm_c")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.RunDutyCycle([]core.Phase{
+		{Mode: core.ModeULE, Workload: small.ScaledTo(200_000)},
+		{Mode: core.ModeHP, Workload: big.ScaledTo(200_000)},
+		{Mode: core.ModeULE, Workload: small.ScaledTo(200_000)},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, p := range res.Phases {
+		fmt.Printf("phase %d: %-8s at %-3v  %8.2f ms  EPI %.2f pJ\n",
+			i, p.Workload, p.Mode, p.TimeNS/1e6, p.EPI.Total())
+	}
+	var swE float64
+	for _, sw := range res.Switches {
+		swE += sw.EnergyPJ
+	}
+	fmt.Printf("mode switches: %d, switch energy %.0f pJ (%.4f%% of total — the paper's",
+		len(res.Switches), swE, 100*swE/res.TotalEnergyPJ)
+	fmt.Println(" 'negligible' claim, checked)")
+	fmt.Printf("schedule: %.2f ms, average power %.1f uW\n", res.TotalTimeNS/1e6, res.AvgPowerW()*1e6)
+}
+
+// avgPower returns the duty-weighted average power in watts: EPI × IPS
+// per mode, ULE running SmallBench and HP running BigBench.
+func avgPower(s yield.Scenario, d core.Design, uleShare float64) (float64, error) {
+	sys, err := core.NewSystem(core.PaperConfig(s, d))
+	if err != nil {
+		return 0, err
+	}
+	small, err := bench.ByName("adpcm_c")
+	if err != nil {
+		return 0, err
+	}
+	big, err := bench.ByName("gsm_c")
+	if err != nil {
+		return 0, err
+	}
+	rULE, err := sys.Run(small.ScaledTo(150_000), core.ModeULE)
+	if err != nil {
+		return 0, err
+	}
+	rHP, err := sys.Run(big.ScaledTo(150_000), core.ModeHP)
+	if err != nil {
+		return 0, err
+	}
+	return uleShare*power(rULE) + (1-uleShare)*power(rHP), nil
+}
+
+// power converts a report to watts: (pJ/instr × instr) / (ns) = mW ⇒ W.
+func power(r core.Report) float64 {
+	totalPJ := r.EPI.Total() * float64(r.Stats.Instructions)
+	return totalPJ / r.TimeNS * 1e-3 // pJ/ns = mW
+}
+
+func lifetime(watts float64) string {
+	seconds := batteryJoules / watts
+	days := seconds / 86400
+	if days > 730 {
+		return fmt.Sprintf("%.1f years", days/365)
+	}
+	return fmt.Sprintf("%.0f days", days)
+}

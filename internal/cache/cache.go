@@ -1,0 +1,207 @@
+// Package cache implements the set-associative cache simulator underlying
+// both L1 caches of the evaluation platform: true-LRU replacement,
+// write-back write-allocate policy, and per-way enable/disable — the
+// mechanism the hybrid architecture uses to gate the HP ways off at ULE
+// mode (gated-Vdd, Powell et al.).
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Config is the geometry of one cache.
+type Config struct {
+	Sets      int // number of sets (power of two)
+	Ways      int // associativity
+	LineBytes int // line size in bytes (power of two)
+}
+
+// SizeBytes returns the total data capacity.
+func (c Config) SizeBytes() int { return c.Sets * c.Ways * c.LineBytes }
+
+// Validate reports whether the geometry is usable.
+func (c Config) Validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("cache: sets %d not a positive power of two", c.Sets)
+	}
+	if c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache: line size %d not a positive power of two", c.LineBytes)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("cache: ways %d must be positive", c.Ways)
+	}
+	return nil
+}
+
+type line struct {
+	valid bool
+	dirty bool
+	tag   uint32
+	lru   uint64 // last-touch tick; larger = more recent
+}
+
+// Result describes one access.
+type Result struct {
+	Hit       bool
+	Way       int  // way hit, or way filled on a miss
+	Evicted   bool // a valid line was displaced
+	Writeback bool // the displaced line was dirty (memory write traffic)
+}
+
+// Cache is a set-associative cache with per-way gating.
+type Cache struct {
+	cfg     Config
+	lines   []line // sets × ways, row-major by set
+	enabled []bool
+	tick    uint64
+	offBits uint
+	idxBits uint
+}
+
+// New builds a cache with all ways enabled.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cache{
+		cfg:     cfg,
+		lines:   make([]line, cfg.Sets*cfg.Ways),
+		enabled: make([]bool, cfg.Ways),
+		offBits: uint(bits.TrailingZeros32(uint32(cfg.LineBytes))),
+		idxBits: uint(bits.TrailingZeros32(uint32(cfg.Sets))),
+	}
+	for i := range c.enabled {
+		c.enabled[i] = true
+	}
+	return c, nil
+}
+
+// MustNew is New, panicking on error.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// SetWayEnabled gates one way on or off. Disabling a way invalidates its
+// contents (gated-Vdd loses state); the caller is responsible for any
+// write-back policy at mode switches (the architecture flushes before
+// switching).
+func (c *Cache) SetWayEnabled(way int, on bool) {
+	if way < 0 || way >= c.cfg.Ways {
+		panic(fmt.Sprintf("cache: way %d out of range", way))
+	}
+	if !on {
+		for set := 0; set < c.cfg.Sets; set++ {
+			c.lines[set*c.cfg.Ways+way] = line{}
+		}
+	}
+	c.enabled[way] = on
+}
+
+// WayEnabled reports whether a way is powered.
+func (c *Cache) WayEnabled(way int) bool { return c.enabled[way] }
+
+// EnabledWays returns the number of powered ways.
+func (c *Cache) EnabledWays() int {
+	n := 0
+	for _, e := range c.enabled {
+		if e {
+			n++
+		}
+	}
+	return n
+}
+
+// index and tag decomposition of an address.
+func (c *Cache) split(addr uint32) (set int, tag uint32) {
+	set = int((addr >> c.offBits) & uint32(c.cfg.Sets-1))
+	tag = addr >> (c.offBits + c.idxBits)
+	return set, tag
+}
+
+// Access performs a read (write=false) or write (write=true) with
+// write-allocate semantics: misses always fill the line into the LRU
+// enabled way.
+func (c *Cache) Access(addr uint32, write bool) Result {
+	if c.EnabledWays() == 0 {
+		panic("cache: access with all ways gated off")
+	}
+	set, tag := c.split(addr)
+	base := set * c.cfg.Ways
+	c.tick++
+
+	for w := 0; w < c.cfg.Ways; w++ {
+		ln := &c.lines[base+w]
+		if c.enabled[w] && ln.valid && ln.tag == tag {
+			ln.lru = c.tick
+			if write {
+				ln.dirty = true
+			}
+			return Result{Hit: true, Way: w}
+		}
+	}
+
+	// Miss: pick an invalid enabled way, else the LRU enabled way.
+	victim := -1
+	var oldest uint64 = ^uint64(0)
+	for w := 0; w < c.cfg.Ways; w++ {
+		if !c.enabled[w] {
+			continue
+		}
+		ln := &c.lines[base+w]
+		if !ln.valid {
+			victim = w
+			break
+		}
+		if ln.lru < oldest {
+			oldest = ln.lru
+			victim = w
+		}
+	}
+	ln := &c.lines[base+victim]
+	res := Result{Way: victim, Evicted: ln.valid, Writeback: ln.valid && ln.dirty}
+	*ln = line{valid: true, tag: tag, lru: c.tick, dirty: write}
+	return res
+}
+
+// Contains reports whether the address currently hits (without touching
+// LRU state) — a test and debugging helper.
+func (c *Cache) Contains(addr uint32) bool {
+	set, tag := c.split(addr)
+	base := set * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		ln := c.lines[base+w]
+		if c.enabled[w] && ln.valid && ln.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates the whole cache and returns the number of dirty
+// lines that would be written back (the mode-switch cost).
+func (c *Cache) Flush() int {
+	dirty := 0
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].dirty {
+			dirty++
+		}
+	}
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+	return dirty
+}
+
+// LineAddr returns the line-aligned address, for callers that track
+// per-line state.
+func (c *Cache) LineAddr(addr uint32) uint32 {
+	return addr &^ (uint32(c.cfg.LineBytes) - 1)
+}

@@ -1,0 +1,24 @@
+package cache
+
+// The paper notes (Section III-A) that "significant parts of our study
+// can be easily reused for direct-mapped and fully-associative caches";
+// these constructors make the other organisations first-class so the
+// yield/energy pipeline can be pointed at them directly.
+
+// DirectMapped returns the geometry of a direct-mapped cache with the
+// given number of lines.
+func DirectMapped(lines, lineBytes int) Config {
+	return Config{Sets: lines, Ways: 1, LineBytes: lineBytes}
+}
+
+// FullyAssociative returns the geometry of a fully-associative cache
+// with the given number of lines.
+func FullyAssociative(lines, lineBytes int) Config {
+	return Config{Sets: 1, Ways: lines, LineBytes: lineBytes}
+}
+
+// IsDirectMapped reports whether the geometry has a single way.
+func (c Config) IsDirectMapped() bool { return c.Ways == 1 }
+
+// IsFullyAssociative reports whether the geometry has a single set.
+func (c Config) IsFullyAssociative() bool { return c.Sets == 1 }

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"testing"
+
+	"edcache/internal/ecc"
+	"edcache/internal/yield"
+)
+
+func TestPaperConfigValid(t *testing.T) {
+	for _, s := range []yield.Scenario{yield.ScenarioA, yield.ScenarioB} {
+		for _, d := range []Design{Baseline, Proposed} {
+			cfg := PaperConfig(s, d)
+			if err := cfg.Validate(); err != nil {
+				t.Errorf("PaperConfig(%v,%v): %v", s, d, err)
+			}
+			if cfg.Sets*cfg.Ways*cfg.LineBytes != 8192 {
+				t.Errorf("paper cache is not 8 KB")
+			}
+			if cfg.Ways-cfg.ULEWays != 7 || cfg.ULEWays != 1 {
+				t.Errorf("paper way split is not 7+1")
+			}
+		}
+	}
+}
+
+func TestConfigValidationRejectsBadInputs(t *testing.T) {
+	mod := func(f func(*Config)) Config {
+		c := PaperConfig(yield.ScenarioA, Proposed)
+		f(&c)
+		return c
+	}
+	bad := []Config{
+		mod(func(c *Config) { c.Sets = 33 }),
+		mod(func(c *Config) { c.ULEWays = 0 }),
+		mod(func(c *Config) { c.ULEWays = 8 }),
+		mod(func(c *Config) { c.LineBytes = 24 }),
+		mod(func(c *Config) { c.DataWordBits = 52 }),
+		mod(func(c *Config) { c.VccULE = 1.2 }),
+		mod(func(c *Config) { c.FreqULEGHz = 2.0 }),
+		mod(func(c *Config) { c.MemLatency = 0 }),
+		mod(func(c *Config) { c.TargetYield = 0 }),
+		mod(func(c *Config) { c.DataWordBits = 48 }), // 32B line not divisible
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestModeAndDesignLabels(t *testing.T) {
+	if ModeHP.String() != "HP" || ModeULE.String() != "ULE" {
+		t.Error("mode names")
+	}
+	if Baseline.String() != "baseline" || Proposed.String() != "proposed" {
+		t.Error("design names")
+	}
+	cfg := PaperConfig(yield.ScenarioB, Proposed)
+	if cfg.Name() != "B/proposed" {
+		t.Errorf("config name %q", cfg.Name())
+	}
+}
+
+func TestULEWayCodeTable(t *testing.T) {
+	// The code-activation table of Section III-B.
+	cases := []struct {
+		s    yield.Scenario
+		d    Design
+		m    Mode
+		want ecc.Kind
+	}{
+		{yield.ScenarioA, Baseline, ModeHP, ecc.KindNone},
+		{yield.ScenarioA, Baseline, ModeULE, ecc.KindNone},
+		{yield.ScenarioA, Proposed, ModeHP, ecc.KindNone}, // SECDED turned off
+		{yield.ScenarioA, Proposed, ModeULE, ecc.KindSECDED},
+		{yield.ScenarioB, Baseline, ModeHP, ecc.KindSECDED},
+		{yield.ScenarioB, Baseline, ModeULE, ecc.KindSECDED},
+		{yield.ScenarioB, Proposed, ModeHP, ecc.KindSECDED}, // DECTED turned off
+		{yield.ScenarioB, Proposed, ModeULE, ecc.KindDECTED},
+	}
+	for _, tc := range cases {
+		cfg := PaperConfig(tc.s, tc.d)
+		if got := cfg.uleWayCode(tc.m); got != tc.want {
+			t.Errorf("%v/%v at %v: code %v, want %v", tc.s, tc.d, tc.m, got, tc.want)
+		}
+	}
+}
+
+func TestSystemCellSelection(t *testing.T) {
+	base := MustNewSystem(PaperConfig(yield.ScenarioA, Baseline))
+	prop := MustNewSystem(PaperConfig(yield.ScenarioA, Proposed))
+	if base.ULEWayArray().Cell.Topo.String() != "10T" {
+		t.Errorf("baseline ULE cell %v, want 10T", base.ULEWayArray().Cell)
+	}
+	if prop.ULEWayArray().Cell.Topo.String() != "8T" {
+		t.Errorf("proposed ULE cell %v, want 8T", prop.ULEWayArray().Cell)
+	}
+	if base.HPWayArray().Cell.Topo.String() != "6T" {
+		t.Errorf("HP cell %v, want 6T", base.HPWayArray().Cell)
+	}
+	// Check-bit columns: baseline A has none, proposed A stores SECDED.
+	if base.ULEWayArray().DataCheck != 0 || prop.ULEWayArray().DataCheck != 7 {
+		t.Errorf("check columns: base %d prop %d", base.ULEWayArray().DataCheck, prop.ULEWayArray().DataCheck)
+	}
+	// Scenario B: proposed stores DECTED columns.
+	propB := MustNewSystem(PaperConfig(yield.ScenarioB, Proposed))
+	if propB.ULEWayArray().DataCheck != 13 {
+		t.Errorf("scenario B proposed check columns %d, want 13", propB.ULEWayArray().DataCheck)
+	}
+}
+
+func TestExtraLatencyAccounting(t *testing.T) {
+	// The extra EDC pipeline cycle is charged to the proposed design at
+	// ULE mode only (paper: no HP-mode performance degradation, ~3 %
+	// at ULE).
+	for _, s := range []yield.Scenario{yield.ScenarioA, yield.ScenarioB} {
+		base := MustNewSystem(PaperConfig(s, Baseline))
+		prop := MustNewSystem(PaperConfig(s, Proposed))
+		if base.ExtraHitLatency(ModeHP) != 0 || base.ExtraHitLatency(ModeULE) != 0 {
+			t.Errorf("scenario %v: baseline must have no extra latency", s)
+		}
+		if prop.ExtraHitLatency(ModeHP) != 0 {
+			t.Errorf("scenario %v: proposed must not slow down HP mode", s)
+		}
+		if prop.ExtraHitLatency(ModeULE) != 1 {
+			t.Errorf("scenario %v: proposed must pay one EDC cycle at ULE mode", s)
+		}
+	}
+}
+
+func TestAreaProposedBeatsBaseline(t *testing.T) {
+	// §IV-B: the proposed design is smaller — the sized 8T+EDC ULE way
+	// (including check columns and codecs) undercuts the fault-free 10T
+	// way in both scenarios.
+	for _, s := range []yield.Scenario{yield.ScenarioA, yield.ScenarioB} {
+		base := MustNewSystem(PaperConfig(s, Baseline)).Area()
+		prop := MustNewSystem(PaperConfig(s, Proposed)).Area()
+		if prop.ULEWays+prop.Codecs >= base.ULEWays+base.Codecs {
+			t.Errorf("scenario %v: proposed ULE way + codecs area %.0f ≥ baseline %.0f",
+				s, prop.ULEWays+prop.Codecs, base.ULEWays+base.Codecs)
+		}
+		if prop.Total() >= base.Total() {
+			t.Errorf("scenario %v: proposed total area %.0f ≥ baseline %.0f",
+				s, prop.Total(), base.Total())
+		}
+		if prop.HPWays != base.HPWays {
+			t.Errorf("scenario %v: HP ways must be identical across designs", s)
+		}
+	}
+}
+
+func TestLeakageGatingAtULE(t *testing.T) {
+	s := MustNewSystem(PaperConfig(yield.ScenarioA, Baseline))
+	hp := s.cacheLeakPower(ModeHP)
+	ule := s.cacheLeakPower(ModeULE)
+	if ule >= hp {
+		t.Errorf("ULE leakage %g ≥ HP leakage %g: gating and DIBL must both help", ule, hp)
+	}
+	// At ULE the 10T ULE way dominates: gated HP ways contribute ≤ 10%.
+	vcc := s.Config().Vcc(ModeULE)
+	gatedHP := 7 * s.HPWayArray().LeakPower(vcc, true)
+	if gatedHP > 0.1*ule {
+		t.Errorf("gated HP ways leak %g of %g — gating ineffective", gatedHP, ule)
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"edcache/internal/bench"
+	"edcache/internal/yield"
+)
+
+func dutySchedule(t *testing.T, n int) []Phase {
+	t.Helper()
+	small, err := bench.ByName("adpcm_c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := bench.ByName("gsm_c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	small = small.ScaledTo(n)
+	big = big.ScaledTo(n)
+	return []Phase{
+		{Mode: ModeULE, Workload: small},
+		{Mode: ModeHP, Workload: big},
+		{Mode: ModeULE, Workload: small},
+	}
+}
+
+func TestDutyCycleAccounting(t *testing.T) {
+	sys := MustNewSystem(PaperConfig(yield.ScenarioA, Proposed))
+	res, err := sys.RunDutyCycle(dutySchedule(t, 40000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 3 {
+		t.Fatalf("phases %d", len(res.Phases))
+	}
+	if len(res.Switches) != 2 {
+		t.Fatalf("switches %d, want 2 (ULE->HP->ULE)", len(res.Switches))
+	}
+	if res.TotalInstructions != 120000 {
+		t.Errorf("instructions %d", res.TotalInstructions)
+	}
+	// Totals must equal the sum of parts.
+	var e, tm float64
+	for _, p := range res.Phases {
+		e += p.EPI.Total() * float64(p.Stats.Instructions)
+		tm += p.TimeNS
+	}
+	for _, sw := range res.Switches {
+		e += sw.EnergyPJ
+		tm += sw.SettleNS
+	}
+	if math.Abs(e-res.TotalEnergyPJ)/e > 1e-9 || math.Abs(tm-res.TotalTimeNS)/tm > 1e-9 {
+		t.Errorf("totals inconsistent: E %g vs %g, T %g vs %g", e, res.TotalEnergyPJ, tm, res.TotalTimeNS)
+	}
+	if res.AvgPowerW() <= 0 || res.EPI() <= 0 {
+		t.Error("derived metrics must be positive")
+	}
+}
+
+func TestModeSwitchOverheadIsNegligible(t *testing.T) {
+	// The paper claims (via Powell et al. [18]) that mode-switch
+	// overheads are negligible. Verify against the model: switch energy
+	// and time are well under 1% of any realistic schedule.
+	sys := MustNewSystem(PaperConfig(yield.ScenarioA, Proposed))
+	res, err := sys.RunDutyCycle(dutySchedule(t, 40000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var swE, swT float64
+	for _, sw := range res.Switches {
+		swE += sw.EnergyPJ
+		swT += sw.SettleNS
+	}
+	if frac := swE / res.TotalEnergyPJ; frac > 0.01 {
+		t.Errorf("switch energy fraction %.4f > 1%%", frac)
+	}
+	if frac := swT / res.TotalTimeNS; frac > 0.01 {
+		t.Errorf("switch time fraction %.4f > 1%%", frac)
+	}
+}
+
+func TestNoSwitchCostWithinSameMode(t *testing.T) {
+	sys := MustNewSystem(PaperConfig(yield.ScenarioA, Baseline))
+	w, err := bench.ByName("adpcm_d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = w.ScaledTo(20000)
+	res, err := sys.RunDutyCycle([]Phase{
+		{Mode: ModeULE, Workload: w},
+		{Mode: ModeULE, Workload: w},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Switches) != 0 {
+		t.Errorf("same-mode phases must not pay a switch, got %d", len(res.Switches))
+	}
+}
+
+func TestDutyCycleEmptySchedule(t *testing.T) {
+	sys := MustNewSystem(PaperConfig(yield.ScenarioA, Baseline))
+	if _, err := sys.RunDutyCycle(nil); err == nil {
+		t.Error("empty schedule accepted")
+	}
+}
+
+func TestDutyCycleProposedBeatsBaseline(t *testing.T) {
+	// End-to-end: over a realistic ULE-dominated schedule the proposed
+	// design's average power must be lower.
+	sched := dutySchedule(t, 30000)
+	base, err := MustNewSystem(PaperConfig(yield.ScenarioA, Baseline)).RunDutyCycle(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop, err := MustNewSystem(PaperConfig(yield.ScenarioA, Proposed)).RunDutyCycle(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prop.TotalEnergyPJ >= base.TotalEnergyPJ {
+		t.Errorf("proposed schedule energy %.0f ≥ baseline %.0f", prop.TotalEnergyPJ, base.TotalEnergyPJ)
+	}
+}

@@ -1,0 +1,37 @@
+package core_test
+
+import (
+	"fmt"
+
+	"edcache/internal/bench"
+	"edcache/internal/core"
+	"edcache/internal/yield"
+)
+
+// NewSystem sizes a complete platform (running the Fig. 2 methodology)
+// and Run evaluates one workload in one operating mode.
+func ExampleNewSystem() {
+	sys, _ := core.NewSystem(core.PaperConfig(yield.ScenarioA, core.Proposed))
+	w, _ := bench.ByName("adpcm_c")
+	rep, _ := sys.Run(w.ScaledTo(50_000), core.ModeULE)
+	fmt.Printf("%s at %v: CPI %.2f, EDC share %.1f%%\n",
+		rep.Workload, rep.Mode, rep.Stats.CPI(), 100*rep.EPI.EDC/rep.EPI.Total())
+	// Output: adpcm_c at ULE: CPI 1.04, EDC share 0.8%
+}
+
+// The four evaluated configurations are baseline/proposed × scenario
+// A/B; the ULE way's cell and code follow from the configuration.
+func ExampleConfig_Name() {
+	for _, s := range []yield.Scenario{yield.ScenarioA, yield.ScenarioB} {
+		for _, d := range []core.Design{core.Baseline, core.Proposed} {
+			sys := core.MustNewSystem(core.PaperConfig(s, d))
+			fmt.Printf("%-11s ULE way: %v +%d check bits\n",
+				sys.Config().Name(), sys.ULEWayArray().Cell, sys.ULEWayArray().DataCheck)
+		}
+	}
+	// Output:
+	// A/baseline  ULE way: 10T(x2.60) +0 check bits
+	// A/proposed  ULE way: 8T(x1.20) +7 check bits
+	// B/baseline  ULE way: 10T(x2.60) +7 check bits
+	// B/proposed  ULE way: 8T(x1.20) +13 check bits
+}

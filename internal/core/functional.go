@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+
+	"edcache/internal/cache"
+	"edcache/internal/ecc"
+	"edcache/internal/faults"
+)
+
+// FunctionalCache is a bit-accurate model of the ULE-mode cache: a
+// single-way (direct-mapped) cache whose data and tag arrays hold real
+// EDC codewords in a ProtectedWay, over a backing memory. Every load
+// returns data that travelled through the encoder, the stuck-at fault
+// map and the decoder — the executable counterpart of the performance
+// model, used by the integration tests to prove the architecture's
+// correctness claim (software never observes a hard fault) rather than
+// assume it.
+type FunctionalCache struct {
+	sim *cache.Cache
+	way *ProtectedWay
+	mem map[uint32]uint32
+	cfg cache.Config
+	wpl int
+	// lineAddr[line] tracks which memory line each cache line holds so
+	// evictions can write back decoded contents.
+	lineAddr []uint32
+	lineUsed []bool
+
+	// Uncorrectable counts reads whose decode reported Detected; the
+	// architecture would raise a machine-check — the integration tests
+	// require it to stay zero at yield-accepted fault maps.
+	Uncorrectable int
+	// CorrectedReads counts transparently repaired reads.
+	CorrectedReads int
+}
+
+// NewFunctionalCache builds the functional ULE cache: `lines` sets of
+// one way with 32-bit words, protected by the given code, over the given
+// fault map (nil for fault-free).
+func NewFunctionalCache(lines, wordsPerLine int, kind ecc.Kind, fmap *faults.WayFaults) (*FunctionalCache, error) {
+	cfg := cache.Config{Sets: lines, Ways: 1, LineBytes: wordsPerLine * 4}
+	sim, err := cache.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	way, err := NewProtectedWay(lines, wordsPerLine, kind, 32, 26, fmap)
+	if err != nil {
+		return nil, err
+	}
+	return &FunctionalCache{
+		sim:      sim,
+		way:      way,
+		mem:      make(map[uint32]uint32),
+		cfg:      cfg,
+		wpl:      wordsPerLine,
+		lineAddr: make([]uint32, lines),
+		lineUsed: make([]bool, lines),
+	}, nil
+}
+
+func (f *FunctionalCache) locate(addr uint32) (set, word int) {
+	wordAddr := addr &^ 3
+	line := f.sim.LineAddr(wordAddr)
+	set = int(line/uint32(f.cfg.LineBytes)) % f.cfg.Sets
+	word = int(wordAddr-line) / 4
+	return set, word
+}
+
+// Load returns the 32-bit word at addr (word-aligned), filling the line
+// on a miss.
+func (f *FunctionalCache) Load(addr uint32) (uint32, bool) {
+	res := f.sim.Access(addr, false)
+	set, word := f.locate(addr)
+	if !res.Hit {
+		f.fill(set, addr, res)
+	}
+	v, dres := f.way.ReadData(set, word)
+	f.note(dres)
+	return uint32(v), res.Hit
+}
+
+// Store writes the 32-bit word at addr (word-aligned), write-allocating
+// on a miss.
+func (f *FunctionalCache) Store(addr uint32, value uint32) bool {
+	res := f.sim.Access(addr, true)
+	set, word := f.locate(addr)
+	if !res.Hit {
+		f.fill(set, addr, res)
+	}
+	f.way.WriteData(set, word, uint64(value))
+	return res.Hit
+}
+
+// fill loads a line from memory through the encoder, writing back the
+// victim first if it was dirty.
+func (f *FunctionalCache) fill(set int, addr uint32, res cache.Result) {
+	lineBase := f.sim.LineAddr(addr &^ 3)
+	if res.Writeback && f.lineUsed[set] {
+		old := f.lineAddr[set]
+		for w := 0; w < f.wpl; w++ {
+			v, dres := f.way.ReadData(set, w)
+			f.note(dres)
+			f.mem[old+uint32(w*4)] = uint32(v)
+		}
+	}
+	for w := 0; w < f.wpl; w++ {
+		f.way.WriteData(set, w, uint64(f.mem[lineBase+uint32(w*4)]))
+	}
+	tag := uint64(lineBase) / uint64(f.cfg.LineBytes*f.cfg.Sets)
+	f.way.WriteTag(set, tag&((1<<26)-1))
+	f.lineAddr[set] = lineBase
+	f.lineUsed[set] = true
+}
+
+func (f *FunctionalCache) note(r ecc.Result) {
+	switch r.Status {
+	case ecc.Detected:
+		f.Uncorrectable++
+	case ecc.Corrected:
+		f.CorrectedReads++
+	}
+}
+
+// MemWord returns the backing-memory copy of a word (test helper).
+func (f *FunctionalCache) MemWord(addr uint32) uint32 { return f.mem[addr&^3] }
+
+// Flush writes every dirty line back to memory through the decoder.
+func (f *FunctionalCache) Flush() error {
+	for set := 0; set < f.cfg.Sets; set++ {
+		if !f.lineUsed[set] {
+			continue
+		}
+		base := f.lineAddr[set]
+		for w := 0; w < f.wpl; w++ {
+			v, dres := f.way.ReadData(set, w)
+			f.note(dres)
+			f.mem[base+uint32(w*4)] = uint32(v)
+		}
+	}
+	f.sim.Flush()
+	for i := range f.lineUsed {
+		f.lineUsed[i] = false
+	}
+	if f.Uncorrectable > 0 {
+		return fmt.Errorf("core: %d uncorrectable words encountered", f.Uncorrectable)
+	}
+	return nil
+}

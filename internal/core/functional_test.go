@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"edcache/internal/bench"
+	"edcache/internal/ecc"
+	"edcache/internal/faults"
+	"edcache/internal/yield"
+)
+
+// refMemory mirrors every store so reads can be checked exactly.
+type refMemory map[uint32]uint32
+
+func TestFunctionalCacheFaultFree(t *testing.T) {
+	fc, err := NewFunctionalCache(32, 8, ecc.KindSECDED, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := refMemory{}
+	rng := rand.New(rand.NewSource(90))
+	for step := 0; step < 50000; step++ {
+		addr := uint32(rng.Intn(4096)) &^ 3
+		if rng.Intn(3) == 0 {
+			v := rng.Uint32()
+			fc.Store(addr, v)
+			ref[addr] = v
+		} else {
+			got, _ := fc.Load(addr)
+			if want := ref[addr]; got != want {
+				t.Fatalf("step %d addr %#x: load %#x, want %#x", step, addr, got, want)
+			}
+		}
+	}
+	if fc.Uncorrectable != 0 {
+		t.Errorf("fault-free run saw %d uncorrectable words", fc.Uncorrectable)
+	}
+	if err := fc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for addr, want := range ref {
+		if got := fc.MemWord(addr); got != want {
+			t.Errorf("post-flush memory %#x = %#x, want %#x", addr, got, want)
+		}
+	}
+}
+
+func TestFunctionalCacheWithYieldAcceptedFaults(t *testing.T) {
+	// The architecture's correctness claim, executed: on silicon whose
+	// fault map passes the yield criterion (≤1 hard fault per word),
+	// every load returns the stored value, with SECDED silently doing
+	// the repairs — across the entire ULE working set, under eviction
+	// pressure, for many dice.
+	res, err := yield.Run(yield.PaperInput(yield.ScenarioA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	geom := faults.WayGeometry{Lines: 32, WordsPerLine: 8, DataWordBits: 39, TagWordBits: 33}
+	dice, corrected := 0, 0
+	for seed := int64(0); dice < 12; seed++ {
+		// Exaggerate Pf so most dice actually contain faults, but keep
+		// only yield-accepted maps (the ones the fab would ship).
+		fmap, err := faults.Generate(geom, res.ProposedPf*30, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fmap.Usable(1) || fmap.Count() == 0 {
+			continue
+		}
+		dice++
+		fc, err := NewFunctionalCache(32, 8, ecc.KindSECDED, fmap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := refMemory{}
+		rng := rand.New(rand.NewSource(1000 + seed))
+		for step := 0; step < 20000; step++ {
+			addr := uint32(rng.Intn(8192)) &^ 3 // 2x cache size: eviction pressure
+			if rng.Intn(3) == 0 {
+				v := rng.Uint32()
+				fc.Store(addr, v)
+				ref[addr] = v
+			} else {
+				got, _ := fc.Load(addr)
+				if want := ref[addr]; got != want {
+					t.Fatalf("die %d step %d addr %#x: load %#x, want %#x (faults=%d)",
+						dice, step, addr, got, want, fmap.Count())
+				}
+			}
+		}
+		if fc.Uncorrectable != 0 {
+			t.Errorf("die %d: %d uncorrectable words on a yield-accepted map", dice, fc.Uncorrectable)
+		}
+		corrected += fc.CorrectedReads
+	}
+	if corrected == 0 {
+		t.Error("no corrections observed across faulty dice — the test exercised nothing")
+	}
+}
+
+func TestFunctionalCacheUncodedCorrupts(t *testing.T) {
+	// The counterfactual: the same faulty silicon with no coding leaks
+	// corrupted data to software.
+	geom := faults.WayGeometry{Lines: 32, WordsPerLine: 8, DataWordBits: 32, TagWordBits: 26}
+	fmap := faults.Empty(geom)
+	fmap.Inject(faults.WordKey{Line: 0, Word: 0}, faults.BitFault{Pos: 7, Stuck: 1})
+	fc, err := NewFunctionalCache(32, 8, ecc.KindNone, fmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc.Store(0, 0x00000000) // line 0, word 0; bit 7 stuck at 1
+	got, _ := fc.Load(0)
+	if got == 0 {
+		t.Fatal("stuck-at fault did not corrupt the uncoded read — fault path broken")
+	}
+	if got != 0x80 {
+		t.Errorf("corrupted value %#x, want %#x", got, 0x80)
+	}
+}
+
+func TestFunctionalCacheDECTEDSurvivesSoftErrorOnFaultyWord(t *testing.T) {
+	geom := faults.WayGeometry{Lines: 32, WordsPerLine: 8, DataWordBits: 45, TagWordBits: 39}
+	fmap := faults.Empty(geom)
+	fmap.Inject(faults.WordKey{Line: 4, Word: 2}, faults.BitFault{Pos: 3, Stuck: 0})
+	fc, err := NewFunctionalCache(32, 8, ecc.KindDECTED, fmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := uint32(4*32 + 2*4) // line 4, word 2
+	fc.Store(addr, 0xFFFFFFFF) // bit 3 stuck-at-0 disagrees
+	// Soft error on top, via the protected way's injector.
+	rng := rand.New(rand.NewSource(91))
+	fcWay := fc.way
+	fcWay.InjectSoftError(4, 2, rng)
+	got, _ := fc.Load(addr)
+	if got != 0xFFFFFFFF {
+		t.Fatalf("DECTED load %#x, want all-ones", got)
+	}
+	if fc.Uncorrectable != 0 {
+		t.Error("hard+soft should be fully correctable under DECTED")
+	}
+}
+
+func TestFunctionalCacheRunsWorkloadAddresses(t *testing.T) {
+	// Feed real SmallBench addresses through the functional cache to
+	// tie the workload generator and the functional model together.
+	w, err := bench.ByName("epic_c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = w.ScaledTo(30000)
+	fc, err := NewFunctionalCache(32, 8, ecc.KindSECDED, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := refMemory{}
+	s := w.Stream()
+	for {
+		inst, ok := s.Next()
+		if !ok {
+			break
+		}
+		switch {
+		case inst.IsStore:
+			fc.Store(inst.Addr, inst.Addr^0xABCD)
+			ref[inst.Addr&^3] = inst.Addr ^ 0xABCD
+		case inst.IsLoad:
+			got, _ := fc.Load(inst.Addr)
+			if want := ref[inst.Addr&^3]; got != want {
+				t.Fatalf("addr %#x: %#x != %#x", inst.Addr, got, want)
+			}
+		}
+	}
+	if err := fc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}

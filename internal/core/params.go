@@ -1,0 +1,16 @@
+package core
+
+// Wattch-style constants for the non-cache part of the processor (core
+// pipeline, register file, TLBs, clock tree). The paper extends MPSim
+// with Wattch-like power models and builds all non-L1 SRAM arrays from
+// 10T cells so they operate at either voltage; EPI is cache-dominated in
+// both modes, which these constants preserve. Units: pJ, ns.
+const (
+	// CoreDynEPI is the core's dynamic energy per instruction at Vnom;
+	// it scales as CV² with the supply.
+	CoreDynEPI = 6.0
+
+	// CoreLeakPower is the core's leakage power at Vnom (pJ/ns); it
+	// scales with bitcell.LeakScale.
+	CoreLeakPower = 0.010
+)

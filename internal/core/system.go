@@ -1,0 +1,402 @@
+package core
+
+import (
+	"fmt"
+
+	"edcache/internal/bench"
+	"edcache/internal/bitcell"
+	"edcache/internal/cache"
+	"edcache/internal/cpu"
+	"edcache/internal/ecc"
+	"edcache/internal/energy"
+	"edcache/internal/trace"
+	"edcache/internal/yield"
+)
+
+// System is one fully-sized instance of the evaluation platform: an
+// in-order core with hybrid IL1 and DL1 caches, built by running the
+// design methodology of Section III-C for the requested configuration.
+type System struct {
+	cfg    Config
+	sizing yield.Result
+
+	hpArray  energy.WayArray // one HP way's storage arrays
+	uleArray energy.WayArray // one ULE way's storage arrays
+
+	secded energy.CodecModel // data-word SECDED codec (zero if unused)
+	dected energy.CodecModel // data-word DECTED codec (zero if unused)
+	tagSEC energy.CodecModel
+	tagDEC energy.CodecModel
+}
+
+// NewSystem sizes and assembles a system for the configuration.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sizing, err := yield.Run(yield.Input{
+		Scenario:    cfg.Scenario,
+		Way:         yield.WayGeometry{Lines: cfg.Sets, WordsPerLine: cfg.WordsPerLine(), DataBits: cfg.DataWordBits, TagBits: cfg.TagWordBits},
+		VccHP:       cfg.VccHP,
+		VccULE:      cfg.VccULE,
+		TargetYield: cfg.TargetYield,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: design methodology failed: %w", err)
+	}
+	s := &System{cfg: cfg, sizing: sizing}
+
+	hpCheck := cfg.hpWayCode().CheckBits()
+	s.hpArray = energy.WayArray{
+		Cell:  sizing.HPCell,
+		Lines: cfg.Sets, WordsPerLine: cfg.WordsPerLine(),
+		DataBits: cfg.DataWordBits, DataCheck: hpCheck,
+		TagBits: cfg.TagWordBits, TagCheck: hpCheck,
+	}
+
+	uleCell := sizing.BaselineCell
+	uleCheck := cfg.Scenario.BaselineCode().CheckBits()
+	if cfg.Design == Proposed {
+		uleCell = sizing.ProposedCell
+		uleCheck = cfg.Scenario.ProposedCode().CheckBits()
+	}
+	s.uleArray = energy.WayArray{
+		Cell:  uleCell,
+		Lines: cfg.Sets, WordsPerLine: cfg.WordsPerLine(),
+		DataBits: cfg.DataWordBits, DataCheck: uleCheck,
+		TagBits: cfg.TagWordBits, TagCheck: uleCheck,
+	}
+
+	// Codec hardware present in this configuration (per cache).
+	if cfg.hpWayCode() == ecc.KindSECDED || cfg.uleWayCode(ModeULE) == ecc.KindSECDED {
+		s.secded = energy.NewCodecModel(ecc.KindSECDED, cfg.DataWordBits)
+		s.tagSEC = energy.NewCodecModel(ecc.KindSECDED, cfg.TagWordBits)
+	}
+	if cfg.uleWayCode(ModeULE) == ecc.KindDECTED {
+		s.dected = energy.NewCodecModel(ecc.KindDECTED, cfg.DataWordBits)
+		s.tagDEC = energy.NewCodecModel(ecc.KindDECTED, cfg.TagWordBits)
+	}
+	return s, nil
+}
+
+// MustNewSystem is NewSystem, panicking on error.
+func MustNewSystem(cfg Config) *System {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Config returns the system's configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Sizing returns the design-methodology result the system was built from.
+func (s *System) Sizing() yield.Result { return s.sizing }
+
+// HPWayArray returns the energy model of one HP way.
+func (s *System) HPWayArray() energy.WayArray { return s.hpArray }
+
+// ULEWayArray returns the energy model of one ULE way.
+func (s *System) ULEWayArray() energy.WayArray { return s.uleArray }
+
+// activeCodecs returns the data-word and tag-word codec models active in
+// the given mode (zero-valued models when no coding is active).
+func (s *System) activeCodecs(m Mode) (data, tag energy.CodecModel) {
+	switch s.cfg.uleWayCode(m) {
+	case ecc.KindDECTED:
+		return s.dected, s.tagDEC
+	case ecc.KindSECDED:
+		return s.secded, s.tagSEC
+	default:
+		// Scenario A at HP mode: proposed turns SECDED off; baseline
+		// has nothing. Scenario B HP is SECDED (handled above).
+		return energy.CodecModel{}, energy.CodecModel{}
+	}
+}
+
+// uleReadBits returns the data/tag bits sensed per access in a ULE way
+// for the given mode. Scenario A's proposed way power-gates its whole
+// check-column segment at HP mode (coding fully off); scenario B's
+// proposed way is SECDED-active at HP but physically laid out as one
+// interleaved DECTED row, so the full row toggles on every access.
+func (s *System) uleReadBits(m Mode) (dataBits, tagBits int) {
+	code := s.cfg.uleWayCode(m)
+	switch {
+	case code == ecc.KindNone:
+		return s.cfg.DataWordBits, s.cfg.TagWordBits
+	case s.cfg.Design == Proposed && s.cfg.Scenario == yield.ScenarioB && m == ModeHP:
+		full := s.cfg.Scenario.ProposedCode().CheckBits()
+		return s.cfg.DataWordBits + full, s.cfg.TagWordBits + full
+	default:
+		return s.cfg.DataWordBits + code.CheckBits(), s.cfg.TagWordBits + code.CheckBits()
+	}
+}
+
+// hpReadBits returns the bits sensed per access in an HP way (only
+// meaningful at HP mode; HP ways are gated at ULE mode).
+func (s *System) hpReadBits() (dataBits, tagBits int) {
+	check := s.cfg.hpWayCode().CheckBits()
+	return s.cfg.DataWordBits + check, s.cfg.TagWordBits + check
+}
+
+// ExtraHitLatency returns the additional DL1 hit cycles in the given
+// mode. Following the paper's accounting (a ~3 % slowdown reported for
+// the proposed design in both scenarios at ULE mode), the extra EDC
+// pipeline stage is charged when the proposed design's added/upgraded
+// code is active, i.e. at ULE mode; the I-side stage is hidden by the
+// fetch pipeline.
+func (s *System) ExtraHitLatency(m Mode) int {
+	if s.cfg.Design == Proposed && m == ModeULE {
+		return 1
+	}
+	return 0
+}
+
+// lookupEnergy returns the dynamic energy of one parallel-lookup access
+// (all enabled ways probe tag+data) in the given mode.
+func (s *System) lookupEnergy(m Mode) float64 {
+	vcc := s.cfg.Vcc(m)
+	if m == ModeULE {
+		d, t := s.uleReadBits(m)
+		return float64(s.cfg.ULEWays) * s.uleArray.AccessEnergy(vcc, d, t)
+	}
+	hd, ht := s.hpReadBits()
+	e := float64(s.cfg.Ways-s.cfg.ULEWays) * s.hpArray.AccessEnergy(vcc, hd, ht)
+	if !s.cfg.GateULEWaysAtHP {
+		ud, ut := s.uleReadBits(m)
+		e += float64(s.cfg.ULEWays) * s.uleArray.AccessEnergy(vcc, ud, ut)
+	}
+	return e
+}
+
+// wayWordWriteEnergy returns the energy of writing one data word (plus
+// optionally the tag) into a specific way class.
+func (s *System) wayWordWriteEnergy(m Mode, uleWay bool, withTag bool) float64 {
+	vcc := s.cfg.Vcc(m)
+	arr := s.hpArray
+	d, t := s.hpReadBits()
+	if uleWay {
+		arr = s.uleArray
+		d, t = s.uleReadBits(m)
+	}
+	if !withTag {
+		t = 0
+	}
+	return arr.WriteEnergy(vcc, d, t)
+}
+
+// cacheLeakPower returns the leakage (pJ/ns) of one cache instance in
+// the given mode: powered ULE ways, gated-or-powered HP ways, plus codec
+// leakage (inactive codecs are power-gated like the HP ways).
+func (s *System) cacheLeakPower(m Mode) float64 {
+	vcc := s.cfg.Vcc(m)
+	hpGated := m == ModeULE
+	uleGated := m == ModeHP && s.cfg.GateULEWaysAtHP
+	p := float64(s.cfg.Ways-s.cfg.ULEWays)*s.hpArray.LeakPower(vcc, hpGated) +
+		float64(s.cfg.ULEWays)*s.uleArray.LeakPower(vcc, uleGated)
+	dataCodec, tagCodec := s.activeCodecs(m)
+	for _, c := range []energy.CodecModel{s.secded, s.tagSEC, s.dected, s.tagDEC} {
+		if c.Kind == ecc.KindNone {
+			continue
+		}
+		gated := c != dataCodec && c != tagCodec
+		p += c.LeakPower(vcc, gated)
+	}
+	return p
+}
+
+// port adapts one cache instance to the cpu.Port interface and tallies
+// the event counts the energy accounting needs.
+type port struct {
+	sim   *cache.Cache
+	extra int
+
+	hpWays int // ways [0, hpWays) are HP ways
+
+	reads, writes           uint64
+	fillsHP, fillsULE       uint64
+	wbHP, wbULE             uint64
+	writeHitHP, writeHitULE uint64
+}
+
+// Access implements cpu.Port.
+func (p *port) Access(addr uint32, write bool) bool {
+	if write {
+		p.writes++
+	} else {
+		p.reads++
+	}
+	res := p.sim.Access(addr, write)
+	ule := res.Way >= p.hpWays
+	if res.Hit {
+		if write {
+			if ule {
+				p.writeHitULE++
+			} else {
+				p.writeHitHP++
+			}
+		}
+		return false
+	}
+	if ule {
+		p.fillsULE++
+	} else {
+		p.fillsHP++
+	}
+	if res.Writeback {
+		if ule {
+			p.wbULE++
+		} else {
+			p.wbHP++
+		}
+	}
+	// A filled line is immediately written (write-allocate): account the
+	// store's word write as a write hit into the fill way.
+	if write {
+		if ule {
+			p.writeHitULE++
+		} else {
+			p.writeHitHP++
+		}
+	}
+	return true
+}
+
+// ExtraHitLatency implements cpu.Port.
+func (p *port) ExtraHitLatency() int { return p.extra }
+
+func (s *System) newPort(m Mode, dside bool) *port {
+	sim := cache.MustNew(cache.Config{Sets: s.cfg.Sets, Ways: s.cfg.Ways, LineBytes: s.cfg.LineBytes})
+	if m == ModeULE {
+		for w := 0; w < s.cfg.Ways-s.cfg.ULEWays; w++ {
+			sim.SetWayEnabled(w, false)
+		}
+	} else if s.cfg.GateULEWaysAtHP {
+		for w := s.cfg.Ways - s.cfg.ULEWays; w < s.cfg.Ways; w++ {
+			sim.SetWayEnabled(w, false)
+		}
+	}
+	extra := 0
+	if dside {
+		extra = s.ExtraHitLatency(m)
+	}
+	return &port{sim: sim, extra: extra, hpWays: s.cfg.Ways - s.cfg.ULEWays}
+}
+
+// Breakdown is the per-instruction energy decomposition of Figures 3/4.
+type Breakdown struct {
+	CacheDynamic float64 // L1 array switching energy (pJ/instr)
+	CacheLeakage float64 // L1 leakage (pJ/instr)
+	EDC          float64 // encoder/decoder switching energy (pJ/instr)
+	Core         float64 // everything else (pipeline, RF, TLBs, clock)
+}
+
+// Total returns the full EPI (pJ/instr).
+func (b Breakdown) Total() float64 {
+	return b.CacheDynamic + b.CacheLeakage + b.EDC + b.Core
+}
+
+// Report is the outcome of running one workload in one mode.
+type Report struct {
+	Config   Config
+	Mode     Mode
+	Workload string
+
+	Stats  cpu.Stats
+	TimeNS float64
+	EPI    Breakdown
+}
+
+// Run executes the workload on the system in the given mode and returns
+// timing plus the EPI breakdown.
+func (s *System) Run(w bench.Workload, m Mode) (Report, error) {
+	return s.RunStream(w.Name, w.Stream(), m)
+}
+
+// RunStream is Run for an arbitrary instruction stream.
+func (s *System) RunStream(name string, stream trace.Stream, m Mode) (Report, error) {
+	il1 := s.newPort(m, false)
+	dl1 := s.newPort(m, true)
+	stats, err := cpu.Run(cpu.Config{MemLatency: s.cfg.MemLatency}, il1, dl1, stream)
+	if err != nil {
+		return Report{}, err
+	}
+	if stats.Instructions == 0 {
+		return Report{}, fmt.Errorf("core: empty instruction stream %q", name)
+	}
+	timeNS := float64(stats.Cycles) / s.cfg.FreqGHz(m)
+
+	var b Breakdown
+	vcc := s.cfg.Vcc(m)
+	dataCodec, tagCodec := s.activeCodecs(m)
+	wpl := s.cfg.WordsPerLine()
+	for _, p := range []*port{il1, dl1} {
+		// Parallel lookups: every access probes all enabled ways.
+		b.CacheDynamic += float64(p.reads+p.writes) * s.lookupEnergy(m)
+		// Store hits write one word into the hit way.
+		b.CacheDynamic += float64(p.writeHitHP) * s.wayWordWriteEnergy(m, false, false)
+		b.CacheDynamic += float64(p.writeHitULE) * s.wayWordWriteEnergy(m, true, false)
+		// Line fills write the whole line plus tag into the fill way.
+		fillHP := s.wayWordWriteEnergy(m, false, true) + float64(wpl-1)*s.wayWordWriteEnergy(m, false, false)
+		fillULE := s.wayWordWriteEnergy(m, true, true) + float64(wpl-1)*s.wayWordWriteEnergy(m, true, false)
+		b.CacheDynamic += float64(p.fillsHP)*fillHP + float64(p.fillsULE)*fillULE
+		// Writebacks read the victim line out.
+		vd, _ := s.hpReadBits()
+		ud, _ := s.uleReadBits(m)
+		b.CacheDynamic += float64(p.wbHP) * float64(wpl) * s.hpArray.AccessEnergy(vcc, vd, 0)
+		b.CacheDynamic += float64(p.wbULE) * float64(wpl) * s.uleArray.AccessEnergy(vcc, ud, 0)
+
+		// EDC: one decode per read (the selected word), one encode per
+		// written word, line fills encode every word plus the tag,
+		// writebacks decode every word.
+		b.EDC += float64(p.reads) * dataCodec.DecodeEnergy(vcc)
+		b.EDC += float64(p.writeHitHP+p.writeHitULE) * dataCodec.EncodeEnergy(vcc)
+		fills := float64(p.fillsHP + p.fillsULE)
+		b.EDC += fills * (float64(wpl)*dataCodec.EncodeEnergy(vcc) + tagCodec.EncodeEnergy(vcc))
+		b.EDC += float64(p.wbHP+p.wbULE) * float64(wpl) * dataCodec.DecodeEnergy(vcc)
+	}
+	// Two cache instances (IL1, DL1) leak for the whole run.
+	b.CacheLeakage = 2 * s.cacheLeakPower(m) * timeNS
+	b.Core = CoreDynEPI*bitcell.DynScale(vcc)*float64(stats.Instructions) +
+		CoreLeakPower*bitcell.LeakScale(vcc)*timeNS
+
+	instr := float64(stats.Instructions)
+	b.CacheDynamic /= instr
+	b.CacheLeakage /= instr
+	b.EDC /= instr
+	b.Core /= instr
+
+	return Report{
+		Config:   s.cfg,
+		Mode:     m,
+		Workload: name,
+		Stats:    stats,
+		TimeNS:   timeNS,
+		EPI:      b,
+	}, nil
+}
+
+// AreaReport decomposes the layout area of one cache instance, in
+// minimum-6T-bitcell equivalents.
+type AreaReport struct {
+	HPWays  float64
+	ULEWays float64
+	Codecs  float64
+}
+
+// Total returns the summed area.
+func (a AreaReport) Total() float64 { return a.HPWays + a.ULEWays + a.Codecs }
+
+// Area returns the area decomposition of one cache instance.
+func (s *System) Area() AreaReport {
+	var codecs float64
+	for _, c := range []energy.CodecModel{s.secded, s.tagSEC, s.dected, s.tagDEC} {
+		codecs += c.Area()
+	}
+	return AreaReport{
+		HPWays:  float64(s.cfg.Ways-s.cfg.ULEWays) * s.hpArray.Area(),
+		ULEWays: float64(s.cfg.ULEWays) * s.uleArray.Area(),
+		Codecs:  codecs,
+	}
+}

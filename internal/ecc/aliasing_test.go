@@ -1,0 +1,164 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// These tests pin down behaviour *beyond* the guaranteed correction/
+// detection radii — the failure statistics a cache architect needs when
+// deciding whether SECDED or DECTED suffices for a fault environment.
+
+func TestSECDEDBeyondGuaranteeNeverLiesSilently(t *testing.T) {
+	// Weight-3 errors exceed SECDED's guarantee: they may be
+	// miscorrected (status Corrected with wrong data) but must NEVER
+	// decode to wrong data with status OK — the syndrome of any odd
+	// non-zero error weight is non-zero.
+	c, _ := NewSECDED(32)
+	rng := rand.New(rand.NewSource(201))
+	n := TotalBits(c)
+	mis, detected := 0, 0
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		data := rng.Uint64() & DataMask(c)
+		cw := c.Encode(data)
+		// Three distinct positions.
+		p := rng.Perm(n)[:3]
+		corrupted := cw ^ 1<<uint(p[0]) ^ 1<<uint(p[1]) ^ 1<<uint(p[2])
+		got, res := c.Decode(corrupted)
+		if res.Status == OK {
+			t.Fatalf("weight-3 error decoded as clean (positions %v)", p)
+		}
+		if res.Status == Corrected && got != data {
+			mis++
+		}
+		if res.Status == Detected {
+			detected++
+		}
+	}
+	// Hsiao codes miscorrect a substantial share of triples (that is
+	// expected and why DECTED exists for scenario B); both buckets must
+	// be populated.
+	if mis == 0 {
+		t.Error("no triple miscorrections observed — statistics implausible for SECDED")
+	}
+	if detected == 0 {
+		t.Error("no triple detections observed — statistics implausible")
+	}
+}
+
+func TestDECTEDWeightFourNeverSilentlyOK(t *testing.T) {
+	// Weight-4 patterns (beyond TED) may alias, but an even-weight
+	// error can never produce status OK with wrong data unless it maps
+	// codeword-to-codeword; with d=6 a weight-4 error is never a
+	// codeword difference... unless it lands within distance 2 of
+	// another codeword, which reports Corrected. Verify: no wrong data
+	// with status OK.
+	c, _ := NewDECTED(32)
+	rng := rand.New(rand.NewSource(202))
+	n := TotalBits(c)
+	for i := 0; i < 3000; i++ {
+		data := rng.Uint64() & DataMask(c)
+		cw := c.Encode(data)
+		p := rng.Perm(n)[:4]
+		corrupted := cw
+		for _, pos := range p {
+			corrupted ^= 1 << uint(pos)
+		}
+		got, res := c.Decode(corrupted)
+		if res.Status == OK && got != data {
+			t.Fatalf("weight-4 error silently decoded to wrong data (positions %v)", p)
+		}
+	}
+}
+
+func TestDECTED26QuickProperty(t *testing.T) {
+	// The tag-word codec (26 bits) gets the same ≤2-error property
+	// exercise the 32-bit one has.
+	c, _ := NewDECTED(26)
+	n := TotalBits(c)
+	prop := func(data uint64, a, b uint8) bool {
+		data &= DataMask(c)
+		i, j := int(a)%n, int(b)%n
+		got, res := c.Decode(c.Encode(data) ^ 1<<uint(i) ^ 1<<uint(j))
+		return got == data && res.Status != Detected
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodewordsAreClosedUnderXorOfGenerator(t *testing.T) {
+	// Linearity: the XOR of two codewords is a codeword (syndrome 0 and
+	// clean parity) for both code families.
+	s, _ := NewSECDED(32)
+	d, _ := NewDECTED(32)
+	rng := rand.New(rand.NewSource(203))
+	for i := 0; i < 1000; i++ {
+		a := rng.Uint64() & DataMask(s)
+		b := rng.Uint64() & DataMask(s)
+		if _, res := s.Decode(s.Encode(a) ^ s.Encode(b)); res.Status != OK {
+			t.Fatalf("SECDED not linear: %#x ^ %#x -> %v", a, b, res.Status)
+		}
+		if _, res := d.Decode(d.Encode(a) ^ d.Encode(b)); res.Status != OK {
+			t.Fatalf("DECTED not linear: %#x ^ %#x -> %v", a, b, res.Status)
+		}
+	}
+}
+
+func TestMinimumDistanceSampling(t *testing.T) {
+	// Sampled minimum-distance check: no non-zero data difference may
+	// produce a codeword of weight below the design distance (4 for
+	// SECDED, 6 for extended DECTED). By linearity it suffices to check
+	// weights of codewords of non-zero data.
+	s, _ := NewSECDED(32)
+	d, _ := NewDECTED(32)
+	rng := rand.New(rand.NewSource(204))
+	minS, minD := 64, 64
+	for i := 0; i < 20000; i++ {
+		data := rng.Uint64() & DataMask(s)
+		if data == 0 {
+			continue
+		}
+		if w := popcount(s.Encode(data)); w < minS {
+			minS = w
+		}
+		if w := popcount(d.Encode(data)); w < minD {
+			minD = w
+		}
+	}
+	// Also sweep all weight-1 and weight-2 data patterns (the likeliest
+	// to produce low-weight codewords).
+	for i := 0; i < 32; i++ {
+		if w := popcount(s.Encode(1 << uint(i))); w < minS {
+			minS = w
+		}
+		if w := popcount(d.Encode(1 << uint(i))); w < minD {
+			minD = w
+		}
+		for j := i + 1; j < 32; j++ {
+			v := uint64(1)<<uint(i) | 1<<uint(j)
+			if w := popcount(s.Encode(v)); w < minS {
+				minS = w
+			}
+			if w := popcount(d.Encode(v)); w < minD {
+				minD = w
+			}
+		}
+	}
+	if minS < 4 {
+		t.Errorf("SECDED minimum observed codeword weight %d < 4", minS)
+	}
+	if minD < 6 {
+		t.Errorf("DECTED minimum observed codeword weight %d < 6", minD)
+	}
+}
+
+func popcount(v uint64) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}

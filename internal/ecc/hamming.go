@@ -1,0 +1,216 @@
+package ecc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// SEC is a plain Hamming single-error-correction code (no double-error
+// detection). It is not used by the paper's architecture — SECDED is the
+// minimum it considers — but it anchors the code-strength ablation: SEC
+// silently miscorrects double errors, which is exactly the hazard the
+// Hsiao odd-weight-column construction exists to close.
+type SEC struct {
+	k    int
+	r    int
+	cols []uint32
+	// checkMask[j] covers the codeword bits in parity equation j.
+	checkMask  []uint64
+	encodeMask []uint64
+	posBySyn   map[uint32]int
+}
+
+// NewSEC builds a Hamming SEC codec for k-bit words with the minimal
+// number of check bits (2^r ≥ k + r + 1).
+func NewSEC(k int) (*SEC, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("ecc: SEC data width %d must be positive", k)
+	}
+	r := 2
+	for (1<<uint(r))-r-1 < k {
+		r++
+	}
+	if k+r > 64 {
+		return nil, fmt.Errorf("ecc: SEC codeword length %d exceeds 64", k+r)
+	}
+	c := &SEC{
+		k:          k,
+		r:          r,
+		cols:       make([]uint32, k+r),
+		checkMask:  make([]uint64, r),
+		encodeMask: make([]uint64, r),
+		posBySyn:   make(map[uint32]int, k+r),
+	}
+	// Data columns: the non-power-of-two values 3, 5, 6, 7, 9, … in
+	// order; check columns: the powers of two.
+	col := uint32(3)
+	for i := 0; i < k; i++ {
+		for col&(col-1) == 0 {
+			col++
+		}
+		c.cols[i] = col
+		col++
+	}
+	for j := 0; j < r; j++ {
+		c.cols[k+j] = 1 << uint(j)
+	}
+	for i, cc := range c.cols {
+		for j := 0; j < r; j++ {
+			if cc&(1<<uint(j)) != 0 {
+				c.checkMask[j] |= 1 << uint(i)
+				if i < k {
+					c.encodeMask[j] |= 1 << uint(i)
+				}
+			}
+		}
+		c.posBySyn[cc] = i
+	}
+	return c, nil
+}
+
+// Name implements Codec.
+func (c *SEC) Name() string { return fmt.Sprintf("Hamming-SEC(%d,%d)", c.k+c.r, c.k) }
+
+// Kind implements Codec. SEC has no dedicated Kind; it reports
+// KindParity-level detection via its own capability and is labelled by
+// Name. For the architecture's configuration tables only the four main
+// kinds exist; SEC is an analysis-only codec.
+func (c *SEC) Kind() Kind { return KindSECDED } // closest family; see Name
+
+// DataBits implements Codec.
+func (c *SEC) DataBits() int { return c.k }
+
+// CheckBits implements Codec.
+func (c *SEC) CheckBits() int { return c.r }
+
+// Encode implements Codec.
+func (c *SEC) Encode(data uint64) uint64 {
+	d := data & DataMask(c)
+	w := d
+	for j := 0; j < c.r; j++ {
+		p := uint64(bits.OnesCount64(d&c.encodeMask[j]) & 1)
+		w |= p << uint(c.k+j)
+	}
+	return w
+}
+
+// Decode implements Codec. Any non-zero syndrome matching a column is
+// "corrected" — for double errors this is usually a miscorrection, the
+// behaviour the ablation quantifies.
+func (c *SEC) Decode(word uint64) (uint64, Result) {
+	w := word & ((uint64(1) << uint(c.k+c.r)) - 1)
+	var s uint32
+	for j := 0; j < c.r; j++ {
+		if bits.OnesCount64(w&c.checkMask[j])&1 != 0 {
+			s |= 1 << uint(j)
+		}
+	}
+	if s == 0 {
+		return w & DataMask(c), Result{Status: OK}
+	}
+	if pos, ok := c.posBySyn[s]; ok {
+		w ^= 1 << uint(pos)
+		return w & DataMask(c), Result{Status: Corrected, Corrected: 1}
+	}
+	return w & DataMask(c), Result{Status: Detected}
+}
+
+// Interleaved wraps N copies of an inner codec over an N·k-bit word,
+// bit-interleaving the codewords in storage: physical bit p belongs to
+// lane p mod N. A burst (multi-bit upset) of up to N physically adjacent
+// bits lands in N distinct lanes, one bit each, so a single-error-
+// correcting inner code repairs the whole burst — the standard SRAM
+// defence against multi-cell upsets, and the natural extension of the
+// paper's architecture to MBU-prone nodes (future-work territory the
+// ablation A4 explores).
+type Interleaved struct {
+	inner []Codec
+	n     int
+	k     int // total data bits = n · inner.DataBits
+}
+
+// NewInterleaved builds an N-lane interleaved codec. All lanes use the
+// same code family and width; total codeword length must fit in 64 bits.
+func NewInterleaved(kind Kind, laneDataBits, lanes int) (*Interleaved, error) {
+	if lanes < 1 {
+		return nil, fmt.Errorf("ecc: %d interleave lanes", lanes)
+	}
+	inner := make([]Codec, lanes)
+	for i := range inner {
+		c, err := New(kind, laneDataBits)
+		if err != nil {
+			return nil, err
+		}
+		inner[i] = c
+	}
+	total := lanes * TotalBits(inner[0])
+	if total > 64 {
+		return nil, fmt.Errorf("ecc: interleaved codeword length %d exceeds 64", total)
+	}
+	return &Interleaved{inner: inner, n: lanes, k: lanes * laneDataBits}, nil
+}
+
+// Name implements Codec.
+func (c *Interleaved) Name() string {
+	return fmt.Sprintf("%dx-interleaved %s", c.n, c.inner[0].Name())
+}
+
+// Kind implements Codec.
+func (c *Interleaved) Kind() Kind { return c.inner[0].Kind() }
+
+// DataBits implements Codec.
+func (c *Interleaved) DataBits() int { return c.k }
+
+// CheckBits implements Codec.
+func (c *Interleaved) CheckBits() int { return c.n * c.inner[0].CheckBits() }
+
+// Lanes returns the interleave degree (the burst length it tolerates).
+func (c *Interleaved) Lanes() int { return c.n }
+
+// Encode implements Codec: lane i receives data bits i, i+n, i+2n, …,
+// and the lane codewords are re-interleaved bit by bit.
+func (c *Interleaved) Encode(data uint64) uint64 {
+	data &= DataMask(c)
+	laneLen := TotalBits(c.inner[0])
+	var out uint64
+	for lane := 0; lane < c.n; lane++ {
+		var laneData uint64
+		for i := 0; i < c.inner[lane].DataBits(); i++ {
+			bit := (data >> uint(lane+i*c.n)) & 1
+			laneData |= bit << uint(i)
+		}
+		cw := c.inner[lane].Encode(laneData)
+		for i := 0; i < laneLen; i++ {
+			bit := (cw >> uint(i)) & 1
+			out |= bit << uint(lane+i*c.n)
+		}
+	}
+	return out
+}
+
+// Decode implements Codec: each lane decodes independently; the word's
+// status is the worst lane status and corrections accumulate.
+func (c *Interleaved) Decode(word uint64) (uint64, Result) {
+	laneLen := TotalBits(c.inner[0])
+	var data uint64
+	res := Result{Status: OK}
+	for lane := 0; lane < c.n; lane++ {
+		var cw uint64
+		for i := 0; i < laneLen; i++ {
+			bit := (word >> uint(lane+i*c.n)) & 1
+			cw |= bit << uint(i)
+		}
+		d, r := c.inner[lane].Decode(cw)
+		for i := 0; i < c.inner[lane].DataBits(); i++ {
+			bit := (d >> uint(i)) & 1
+			data |= bit << uint(lane+i*c.n)
+		}
+		res.Corrected += r.Corrected
+		if r.Status == Detected {
+			res.Status = Detected
+		} else if r.Status == Corrected && res.Status != Detected {
+			res.Status = Corrected
+		}
+	}
+	return data, res
+}

@@ -1,0 +1,162 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSECGeometry(t *testing.T) {
+	cases := []struct{ k, wantR int }{
+		{4, 3}, {11, 4}, {26, 5}, {32, 6}, {57, 6},
+	}
+	for _, tc := range cases {
+		c, err := NewSEC(tc.k)
+		if err != nil {
+			t.Fatalf("NewSEC(%d): %v", tc.k, err)
+		}
+		if c.CheckBits() != tc.wantR {
+			t.Errorf("k=%d: r=%d, want %d", tc.k, c.CheckBits(), tc.wantR)
+		}
+	}
+	if _, err := NewSEC(60); err == nil {
+		t.Error("oversized SEC accepted")
+	}
+	if _, err := NewSEC(0); err == nil {
+		t.Error("zero-width SEC accepted")
+	}
+}
+
+func TestSECCorrectsSingles(t *testing.T) {
+	c, _ := NewSEC(32)
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 100; trial++ {
+		data := rng.Uint64() & DataMask(c)
+		cw := c.Encode(data)
+		for pos := 0; pos < TotalBits(c); pos++ {
+			got, res := c.Decode(cw ^ 1<<uint(pos))
+			if got != data || res.Status != Corrected {
+				t.Fatalf("pos %d: (%#x, %v)", pos, got, res.Status)
+			}
+		}
+	}
+}
+
+func TestSECMiscorrectsDoubles(t *testing.T) {
+	// The hazard SECDED exists to close: plain Hamming SEC treats most
+	// double errors as a single error somewhere else and corrupts a
+	// third bit. Count the miscorrection rate and compare with Hsiao
+	// SECDED's guaranteed zero.
+	sec, _ := NewSEC(32)
+	secded, _ := NewSECDED(32)
+	data := uint64(0xCAFEBABE)
+	cwSEC := sec.Encode(data)
+	cwSD := secded.Encode(data)
+
+	misSEC, misSD := 0, 0
+	for i := 0; i < TotalBits(sec); i++ {
+		for j := i + 1; j < TotalBits(sec); j++ {
+			if got, res := sec.Decode(cwSEC ^ 1<<uint(i) ^ 1<<uint(j)); res.Status == Corrected && got != data {
+				misSEC++
+			}
+		}
+	}
+	for i := 0; i < TotalBits(secded); i++ {
+		for j := i + 1; j < TotalBits(secded); j++ {
+			if got, res := secded.Decode(cwSD ^ 1<<uint(i) ^ 1<<uint(j)); res.Status == Corrected && got != data {
+				misSD++
+			}
+		}
+	}
+	if misSD != 0 {
+		t.Errorf("Hsiao SECDED miscorrected %d double errors; its guarantee is zero", misSD)
+	}
+	if misSEC == 0 {
+		t.Error("plain SEC should miscorrect double errors — the ablation depends on it")
+	}
+}
+
+func TestInterleavedGeometry(t *testing.T) {
+	c, err := NewInterleaved(KindSECDED, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.DataBits() != 32 || c.Lanes() != 4 {
+		t.Errorf("geometry: %d data bits, %d lanes", c.DataBits(), c.Lanes())
+	}
+	// 4 lanes × 7 check bits (fixed SECDED budget).
+	if c.CheckBits() != 28 {
+		t.Errorf("check bits %d", c.CheckBits())
+	}
+	if _, err := NewInterleaved(KindSECDED, 32, 4); err == nil {
+		t.Error("oversized interleave accepted")
+	}
+	if _, err := NewInterleaved(KindSECDED, 8, 0); err == nil {
+		t.Error("zero lanes accepted")
+	}
+}
+
+func TestInterleavedRoundTrip(t *testing.T) {
+	c, _ := NewInterleaved(KindSECDED, 8, 4)
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 500; trial++ {
+		data := rng.Uint64() & DataMask(c)
+		got, res := c.Decode(c.Encode(data))
+		if got != data || res.Status != OK {
+			t.Fatalf("round trip: %#x -> %#x (%v)", data, got, res.Status)
+		}
+	}
+}
+
+func TestInterleavedCorrectsBursts(t *testing.T) {
+	// The point of interleaving: a physically contiguous burst of up to
+	// N bits is corrected by N single-error corrections, for every
+	// burst position.
+	c, _ := NewInterleaved(KindSECDED, 8, 4)
+	n := TotalBits(c)
+	data := uint64(0xDEADBEEF) & DataMask(c)
+	cw := c.Encode(data)
+	for burstLen := 1; burstLen <= 4; burstLen++ {
+		for start := 0; start+burstLen <= n; start++ {
+			corrupted := cw
+			for b := 0; b < burstLen; b++ {
+				corrupted ^= 1 << uint(start+b)
+			}
+			got, res := c.Decode(corrupted)
+			if got != data || res.Status == Detected {
+				t.Fatalf("burst len %d at %d: (%#x, %v), want %#x",
+					burstLen, start, got, res.Status, data)
+			}
+			if res.Corrected != burstLen {
+				t.Fatalf("burst len %d at %d: corrected %d", burstLen, start, res.Corrected)
+			}
+		}
+	}
+}
+
+func TestInterleavedDetectsFiveBitBursts(t *testing.T) {
+	// A burst one longer than the interleave degree puts two errors in
+	// one lane: SECDED in that lane detects it.
+	c, _ := NewInterleaved(KindSECDED, 8, 4)
+	data := uint64(0x01020304) & DataMask(c)
+	cw := c.Encode(data)
+	n := TotalBits(c)
+	for start := 0; start+5 <= n; start++ {
+		corrupted := cw
+		for b := 0; b < 5; b++ {
+			corrupted ^= 1 << uint(start+b)
+		}
+		if _, res := c.Decode(corrupted); res.Status != Detected {
+			t.Fatalf("5-bit burst at %d: status %v, want Detected", start, res.Status)
+		}
+	}
+}
+
+func TestPlainSECDEDFailsAdjacentDouble(t *testing.T) {
+	// Contrast for the MBU story: non-interleaved SECDED only *detects*
+	// an adjacent double — it cannot correct it.
+	c, _ := NewSECDED(32)
+	cw := c.Encode(0x55AA55AA)
+	if _, res := c.Decode(cw ^ 0b11); res.Status != Detected {
+		t.Errorf("adjacent double on plain SECDED: %v, want Detected", res.Status)
+	}
+}

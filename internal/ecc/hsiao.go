@@ -1,0 +1,261 @@
+package ecc
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// SECDED is a Hsiao odd-weight-column single-error-correction,
+// double-error-detection code (Chen & Hsiao, IBM JRD 1984 — reference [5]
+// of the paper). The parity-check matrix H has one weight-1 column per
+// check bit and k distinct odd-weight (weight ≥ 3) columns for the data
+// bits, chosen to balance row weights as in Hsiao's construction; balanced
+// rows minimise the depth and energy of the XOR trees, which is what the
+// energy model in internal/energy assumes.
+//
+// Properties used by the architecture:
+//   - any single-bit error yields a syndrome equal to that bit's (odd
+//     weight) column and is corrected;
+//   - any double-bit error yields a non-zero even-weight syndrome, which
+//     can never match a column, so it is always detected, never
+//     miscorrected.
+type SECDED struct {
+	k int // data bits
+	r int // check bits
+
+	// cols[i] is the H column (an r-bit value) of codeword bit i.
+	cols []uint32
+	// checkMask[j], for check bit j, covers the codeword bits that
+	// participate in parity equation j (including check bit j itself).
+	checkMask []uint64
+	// encodeMask[j] covers only the data bits of equation j.
+	encodeMask []uint64
+	// posBySyndrome maps a syndrome value to the erroneous bit position.
+	posBySyndrome map[uint32]int
+}
+
+// NewSECDED constructs a Hsiao SECDED codec for k-bit data words with the
+// paper's fixed budget of 7 check bits. Widths up to 64 data bits are
+// supported as long as k+7 ≤ 64 and enough odd-weight columns exist.
+func NewSECDED(k int) (*SECDED, error) {
+	const r = 7
+	return newSECDEDWithR(k, r)
+}
+
+// NewSECDEDMinimal constructs a Hsiao SECDED codec with the minimal number
+// of check bits for k data bits (used by the granularity ablation, where
+// the fixed 7-bit budget of the paper would be wasteful for short words).
+func NewSECDEDMinimal(k int) (*SECDED, error) {
+	for r := 4; r <= 16; r++ {
+		if oddColumnCount(r) >= k {
+			return newSECDEDWithR(k, r)
+		}
+	}
+	return nil, fmt.Errorf("ecc: no SECDED geometry for %d data bits", k)
+}
+
+// oddColumnCount counts odd-weight r-bit columns of weight ≥ 3.
+func oddColumnCount(r int) int {
+	n := 0
+	for w := 3; w <= r; w += 2 {
+		n += binomial(r, w)
+	}
+	return n
+}
+
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	v := 1
+	for i := 0; i < k; i++ {
+		v = v * (n - i) / (i + 1)
+	}
+	return v
+}
+
+func newSECDEDWithR(k, r int) (*SECDED, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("ecc: SECDED data width %d must be positive", k)
+	}
+	if k+r > 64 {
+		return nil, fmt.Errorf("ecc: SECDED codeword length %d exceeds 64", k+r)
+	}
+	if oddColumnCount(r) < k {
+		return nil, fmt.Errorf("ecc: %d check bits admit only %d odd-weight columns, need %d", r, oddColumnCount(r), k)
+	}
+	c := &SECDED{
+		k:             k,
+		r:             r,
+		cols:          make([]uint32, k+r),
+		checkMask:     make([]uint64, r),
+		encodeMask:    make([]uint64, r),
+		posBySyndrome: make(map[uint32]int, k+r),
+	}
+	for i, col := range hsiaoColumns(k, r) {
+		c.cols[i] = col
+	}
+	for j := 0; j < r; j++ {
+		c.cols[k+j] = 1 << uint(j) // weight-1 columns for check bits
+	}
+	for i, col := range c.cols {
+		for j := 0; j < r; j++ {
+			if col&(1<<uint(j)) != 0 {
+				c.checkMask[j] |= 1 << uint(i)
+				if i < k {
+					c.encodeMask[j] |= 1 << uint(i)
+				}
+			}
+		}
+		c.posBySyndrome[col] = i
+	}
+	return c, nil
+}
+
+// hsiaoColumns selects k distinct odd-weight (≥3) r-bit columns,
+// greedily balancing the per-row weights, lowest weights first.
+func hsiaoColumns(k, r int) []uint32 {
+	var candidates []uint32
+	for w := 3; w <= r; w += 2 {
+		candidates = append(candidates, columnsOfWeight(r, w)...)
+		if len(candidates) >= k && w >= 3 {
+			// Keep collecting whole weight classes so the greedy pass
+			// below still has the full lowest class to balance over.
+			if len(columnsUpToWeight(r, w)) >= k {
+				break
+			}
+		}
+	}
+	rowWeight := make([]int, r)
+	used := make([]bool, len(candidates))
+	cols := make([]uint32, 0, k)
+	for len(cols) < k {
+		best := -1
+		bestScore := 1 << 30
+		for i, cand := range candidates {
+			if used[i] {
+				continue
+			}
+			// Score: resulting maximum row weight, then sum of squares
+			// (spread), then column value for determinism.
+			score := 0
+			maxW := 0
+			for j := 0; j < r; j++ {
+				w := rowWeight[j]
+				if cand&(1<<uint(j)) != 0 {
+					w++
+				}
+				if w > maxW {
+					maxW = w
+				}
+				score += w * w
+			}
+			score += maxW << 16
+			if score < bestScore {
+				bestScore = score
+				best = i
+			}
+		}
+		used[best] = true
+		col := candidates[best]
+		cols = append(cols, col)
+		for j := 0; j < r; j++ {
+			if col&(1<<uint(j)) != 0 {
+				rowWeight[j]++
+			}
+		}
+	}
+	return cols
+}
+
+func columnsOfWeight(r, w int) []uint32 {
+	var out []uint32
+	for v := uint32(1); v < 1<<uint(r); v++ {
+		if bits.OnesCount32(v) == w {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func columnsUpToWeight(r, w int) []uint32 {
+	var out []uint32
+	for ww := 3; ww <= w; ww += 2 {
+		out = append(out, columnsOfWeight(r, ww)...)
+	}
+	return out
+}
+
+// Name implements Codec.
+func (c *SECDED) Name() string {
+	return fmt.Sprintf("Hsiao-SECDED(%d,%d)", c.k+c.r, c.k)
+}
+
+// Kind implements Codec.
+func (c *SECDED) Kind() Kind { return KindSECDED }
+
+// DataBits implements Codec.
+func (c *SECDED) DataBits() int { return c.k }
+
+// CheckBits implements Codec.
+func (c *SECDED) CheckBits() int { return c.r }
+
+// Encode implements Codec.
+func (c *SECDED) Encode(data uint64) uint64 {
+	d := data & DataMask(c)
+	w := d
+	for j := 0; j < c.r; j++ {
+		p := uint64(bits.OnesCount64(d&c.encodeMask[j]) & 1)
+		w |= p << uint(c.k+j)
+	}
+	return w
+}
+
+// syndrome evaluates all r parity equations over the received word.
+func (c *SECDED) syndrome(word uint64) uint32 {
+	var s uint32
+	for j := 0; j < c.r; j++ {
+		if bits.OnesCount64(word&c.checkMask[j])&1 != 0 {
+			s |= 1 << uint(j)
+		}
+	}
+	return s
+}
+
+// Decode implements Codec. Single errors (in data or check bits) are
+// corrected; double errors are always detected thanks to the odd-weight
+// column property. Odd-weight syndromes that match no column (≥3 errors)
+// are reported as Detected.
+func (c *SECDED) Decode(word uint64) (uint64, Result) {
+	w := word & ((uint64(1) << uint(c.k+c.r)) - 1)
+	s := c.syndrome(w)
+	if s == 0 {
+		return w & DataMask(c), Result{Status: OK}
+	}
+	if bits.OnesCount32(s)&1 == 0 {
+		// Even-weight non-zero syndrome: guaranteed double-error class.
+		return w & DataMask(c), Result{Status: Detected}
+	}
+	pos, ok := c.posBySyndrome[s]
+	if !ok {
+		return w & DataMask(c), Result{Status: Detected}
+	}
+	w ^= 1 << uint(pos)
+	return w & DataMask(c), Result{Status: Corrected, Corrected: 1}
+}
+
+// Column returns the H-matrix column of codeword bit i (for tests and the
+// energy model's XOR-tree gate counts).
+func (c *SECDED) Column(i int) uint32 { return c.cols[i] }
+
+// RowWeights returns the number of participants in each parity equation,
+// used by the EDC energy model to size the encoder XOR trees.
+func (c *SECDED) RowWeights() []int {
+	ws := make([]int, c.r)
+	for j := 0; j < c.r; j++ {
+		ws[j] = bits.OnesCount64(c.checkMask[j])
+	}
+	return ws
+}

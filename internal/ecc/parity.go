@@ -1,0 +1,50 @@
+package ecc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Parity is a single even-parity check bit over a k-bit word: it detects
+// any odd number of bit errors and corrects none. It is included both as a
+// baseline in the ablation studies and as the extension bit used by the
+// DECTED construction.
+type Parity struct{ k int }
+
+// NewParity returns a Parity codec for k-bit words (1 ≤ k ≤ 63).
+func NewParity(k int) *Parity {
+	if k < 1 || k > 63 {
+		panic(fmt.Sprintf("ecc: parity width %d out of range [1,63]", k))
+	}
+	return &Parity{k: k}
+}
+
+// Name implements Codec.
+func (c *Parity) Name() string { return fmt.Sprintf("parity(%d,%d)", c.k+1, c.k) }
+
+// Kind implements Codec.
+func (c *Parity) Kind() Kind { return KindParity }
+
+// DataBits implements Codec.
+func (c *Parity) DataBits() int { return c.k }
+
+// CheckBits implements Codec.
+func (c *Parity) CheckBits() int { return 1 }
+
+// Encode implements Codec: the check bit makes the codeword even-weight.
+func (c *Parity) Encode(data uint64) uint64 {
+	d := data & DataMask(c)
+	p := uint64(bits.OnesCount64(d) & 1)
+	return d | p<<uint(c.k)
+}
+
+// Decode implements Codec. A parity violation is reported as Detected;
+// the data bits are returned unmodified either way.
+func (c *Parity) Decode(word uint64) (uint64, Result) {
+	w := word & ((uint64(1) << uint(c.k+1)) - 1)
+	data := w & DataMask(c)
+	if bits.OnesCount64(w)&1 != 0 {
+		return data, Result{Status: Detected}
+	}
+	return data, Result{Status: OK}
+}

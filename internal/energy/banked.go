@@ -1,0 +1,129 @@
+package energy
+
+import (
+	"fmt"
+	"math"
+
+	"edcache/internal/bitcell"
+)
+
+// Partition is a CACTI-style subarray partitioning of a way's storage
+// array: Ndwl vertical cuts (wordline segments) and Ndbl horizontal cuts
+// (bitline segments). The flat model of WayArray corresponds to the
+// {1,1} partition; finer partitions shorten the bitlines (less switched
+// capacitance per access) at the price of replicated decoders, sense
+// amplifiers and H-tree routing — the classic energy/area trade CACTI
+// 6.5 explores and the paper's extended CACTI inherits.
+type Partition struct {
+	Ndwl int
+	Ndbl int
+}
+
+// Validate reports whether the partition is usable.
+func (p Partition) Validate() error {
+	if p.Ndwl < 1 || p.Ndbl < 1 {
+		return fmt.Errorf("energy: partition %dx%d invalid", p.Ndwl, p.Ndbl)
+	}
+	if p.Ndwl&(p.Ndwl-1) != 0 || p.Ndbl&(p.Ndbl-1) != 0 {
+		return fmt.Errorf("energy: partition %dx%d not powers of two", p.Ndwl, p.Ndbl)
+	}
+	return nil
+}
+
+// Segments returns the subarray count.
+func (p Partition) Segments() int { return p.Ndwl * p.Ndbl }
+
+// Partitioning cost constants: the fraction of bitline energy that does
+// not scale with segment length (sense amps, column muxes), the per-
+// segment peripheral replication factor, and the H-tree distribution
+// energy per additional segment.
+const (
+	bitlineFixedFrac  = 0.30  // sense/mux portion of per-bit read energy
+	periphReplication = 0.35  // extra peripheral energy per extra segment
+	htreeEnergyPerSeg = 0.004 // pJ per segment traversed at Vnom
+	periphAreaPerSeg  = 0.06  // extra area fraction per extra segment
+	periphLeakPerSeg  = 0.03  // extra leakage fraction per extra segment
+)
+
+// BankedAccessEnergy returns the dynamic energy of one access when the
+// way's arrays are split into the given partition. Bitline (cell-side)
+// energy scales with the 1/Ndbl segment length; wordline and decode
+// overheads are replicated per active segment and the H-tree pays for
+// distribution.
+func (w WayArray) BankedAccessEnergy(vcc float64, dataBits, tagBits int, p Partition) float64 {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	dyn := bitcell.DynScale(vcc)
+	bits := float64(dataBits + tagBits)
+	perBit := BitReadEnergy * w.Cell.DynCapRel() * dyn
+	bitline := bits * perBit * (bitlineFixedFrac + (1-bitlineFixedFrac)/float64(p.Ndbl))
+	periph := (WayPeriphEnergy + TagMatchEnergy) * dyn *
+		(1 + periphReplication*float64(p.Segments()-1)/float64(p.Segments()))
+	htree := htreeEnergyPerSeg * dyn * float64(p.Segments()-1)
+	return bitline + periph + htree
+}
+
+// BankedArea returns the way's layout area under the partition.
+func (w WayArray) BankedArea(p Partition) float64 {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	storage := float64(w.StorageBits()) * w.Cell.AreaRel()
+	return storage * (1 + PeriphAreaFrac + periphAreaPerSeg*float64(p.Segments()-1))
+}
+
+// BankedLeakPower returns the way's leakage under the partition
+// (replicated peripherals leak; the cells themselves are unchanged).
+func (w WayArray) BankedLeakPower(vcc float64, gated bool, p Partition) float64 {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	base := float64(w.StorageBits()) * BitLeakPower * w.Cell.LeakRel(vcc) *
+		(1 + PeriphLeakFrac + periphLeakPerSeg*float64(p.Segments()-1))
+	if gated {
+		base *= GatedLeakResidual
+	}
+	return base
+}
+
+// PartitionEval is one candidate in an exploration sweep.
+type PartitionEval struct {
+	Part   Partition
+	Energy float64 // per-access dynamic energy (pJ)
+	Area   float64 // way area (min-6T-cell equivalents)
+	Leak   float64 // leakage power (pJ/ns)
+}
+
+// ExplorePartitions sweeps power-of-two partitions up to maxSegments and
+// returns the evaluations sorted as generated (Ndwl-major), plus the
+// index of the minimum-energy candidate — the CACTI-style organisation
+// search for one way.
+func ExplorePartitions(w WayArray, vcc float64, dataBits, tagBits, maxSegments int) ([]PartitionEval, int, error) {
+	if err := w.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if maxSegments < 1 {
+		return nil, 0, fmt.Errorf("energy: maxSegments %d", maxSegments)
+	}
+	var out []PartitionEval
+	best := 0
+	bestE := math.Inf(1)
+	for ndwl := 1; ndwl <= maxSegments; ndwl *= 2 {
+		for ndbl := 1; ndwl*ndbl <= maxSegments; ndbl *= 2 {
+			p := Partition{Ndwl: ndwl, Ndbl: ndbl}
+			ev := PartitionEval{
+				Part:   p,
+				Energy: w.BankedAccessEnergy(vcc, dataBits, tagBits, p),
+				Area:   w.BankedArea(p),
+				Leak:   w.BankedLeakPower(vcc, false, p),
+			}
+			if ev.Energy < bestE {
+				bestE = ev.Energy
+				best = len(out)
+			}
+			out = append(out, ev)
+		}
+	}
+	return out, best, nil
+}

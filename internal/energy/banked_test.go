@@ -1,0 +1,113 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"edcache/internal/bitcell"
+)
+
+func TestPartitionValidate(t *testing.T) {
+	bad := []Partition{{0, 1}, {1, 0}, {3, 1}, {1, 6}}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("partition %+v accepted", p)
+		}
+	}
+	if err := (Partition{4, 2}).Validate(); err != nil {
+		t.Errorf("valid partition rejected: %v", err)
+	}
+	if (Partition{4, 2}).Segments() != 8 {
+		t.Error("segment count")
+	}
+}
+
+func TestFlatPartitionMatchesFlatModel(t *testing.T) {
+	w := paperWay(bitcell.MustNew(bitcell.T6, 1.0), 0)
+	flat := w.AccessEnergy(1.0, 32, 26)
+	banked := w.BankedAccessEnergy(1.0, 32, 26, Partition{1, 1})
+	if math.Abs(flat-banked)/flat > 1e-12 {
+		t.Errorf("{1,1} partition energy %g != flat model %g", banked, flat)
+	}
+	if a, b := w.Area(), w.BankedArea(Partition{1, 1}); math.Abs(a-b)/a > 1e-12 {
+		t.Errorf("{1,1} partition area %g != flat %g", b, a)
+	}
+	if l, b := w.LeakPower(0.35, false), w.BankedLeakPower(0.35, false, Partition{1, 1}); math.Abs(l-b)/l > 1e-12 {
+		t.Errorf("{1,1} partition leak %g != flat %g", b, l)
+	}
+}
+
+func TestBitlineSegmentationSavesEnergy(t *testing.T) {
+	// Doubling Ndbl must cut the scalable bitline portion; for a
+	// bitline-dominated array the first split wins.
+	w := paperWay(bitcell.MustNew(bitcell.T10, 2.6), 0)
+	e1 := w.BankedAccessEnergy(0.35, 32, 26, Partition{1, 1})
+	e2 := w.BankedAccessEnergy(0.35, 32, 26, Partition{1, 2})
+	if e2 >= e1 {
+		t.Errorf("Ndbl=2 energy %g not below flat %g", e2, e1)
+	}
+}
+
+func TestOverPartitioningBackfires(t *testing.T) {
+	// Replicated peripherals and H-tree eventually dominate: the
+	// energy at an absurd partition must exceed the optimum.
+	w := paperWay(bitcell.MustNew(bitcell.T6, 1.0), 0)
+	evals, best, err := ExplorePartitions(w, 1.0, 32, 26, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worstSegments := 0
+	var extreme PartitionEval
+	for _, ev := range evals {
+		if ev.Part.Segments() > worstSegments {
+			worstSegments = ev.Part.Segments()
+			extreme = ev
+		}
+	}
+	if extreme.Energy <= evals[best].Energy {
+		t.Errorf("64-segment energy %g not above optimum %g", extreme.Energy, evals[best].Energy)
+	}
+	if evals[best].Part.Segments() == worstSegments {
+		t.Errorf("optimum landed at the most-partitioned point %+v — cost model toothless", evals[best].Part)
+	}
+}
+
+func TestExploreCoversAllPowerOfTwoPartitions(t *testing.T) {
+	w := paperWay(bitcell.MustNew(bitcell.T8, 1.2), 7)
+	evals, best, err := ExplorePartitions(w, 0.35, 39, 33, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partitions with Ndwl·Ndbl ≤ 16, powers of two: (1+2+4+8+16 combos)
+	// = 5+4+3+2+1 = 15 candidates.
+	if len(evals) != 15 {
+		t.Errorf("explored %d candidates, want 15", len(evals))
+	}
+	if best < 0 || best >= len(evals) {
+		t.Fatalf("best index %d", best)
+	}
+	for _, ev := range evals {
+		if ev.Energy < evals[best].Energy {
+			t.Errorf("candidate %+v (%.4g) beats reported best (%.4g)", ev.Part, ev.Energy, evals[best].Energy)
+		}
+		if ev.Area <= 0 || ev.Leak <= 0 {
+			t.Errorf("candidate %+v has non-positive area/leak", ev.Part)
+		}
+	}
+	// Area and leakage grow monotonically with segments for the same
+	// storage.
+	if evals[0].Area >= evals[len(evals)-1].Area {
+		t.Error("area did not grow with partitioning")
+	}
+}
+
+func TestExploreValidation(t *testing.T) {
+	w := paperWay(bitcell.MustNew(bitcell.T6, 1.0), 0)
+	if _, _, err := ExplorePartitions(w, 1.0, 32, 26, 0); err == nil {
+		t.Error("zero maxSegments accepted")
+	}
+	w.Lines = 0
+	if _, _, err := ExplorePartitions(w, 1.0, 32, 26, 4); err == nil {
+		t.Error("invalid geometry accepted")
+	}
+}

@@ -1,0 +1,99 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+)
+
+// Soft-error-rate (SER) analysis for the always-on ULE mode. Scenario B
+// exists because the baseline must tolerate soft errors (its ways are
+// SECDED-protected); the proposed design must not regress that
+// protection even though its words may carry a hard fault that consumes
+// part of the code's correction budget. This file quantifies the
+// resulting detected-uncortable-error (DUE) rate: soft errors accumulate
+// in a word between scrubs as a Poisson process, and a word fails when
+// the accumulated upsets exceed what the code can correct on top of the
+// word's hard faults.
+
+// PoissonTail returns P(N > k) for N ~ Poisson(mu). The tail is summed
+// directly from its leading term rather than as 1−CDF, which would lose
+// everything below double-precision epsilon — the regime SER analysis
+// lives in (per-interval failure probabilities of 1e-18 and below are
+// routine and meaningful once multiplied across words and years).
+func PoissonTail(mu float64, k int) float64 {
+	if mu < 0 {
+		panic(fmt.Sprintf("faults: negative Poisson mean %g", mu))
+	}
+	if mu == 0 {
+		return 0
+	}
+	// term = e^-mu · mu^(k+1)/(k+1)!
+	logTerm := -mu + float64(k+1)*math.Log(mu)
+	for i := 2; i <= k+1; i++ {
+		logTerm -= math.Log(float64(i))
+	}
+	term := math.Exp(logTerm)
+	sum := 0.0
+	for i := k + 1; ; i++ {
+		sum += term
+		next := term * mu / float64(i+1)
+		if next < sum*1e-18 || next == 0 {
+			break
+		}
+		term = next
+	}
+	if sum > 1 {
+		return 1
+	}
+	return sum
+}
+
+// WordClass describes a population of stored words with identical
+// reliability behaviour.
+type WordClass struct {
+	Count int // words of this class in the cache
+	Bits  int // codeword bits per word
+	// TolerableSoft is the number of accumulated soft errors the word
+	// survives between scrubs: code correction capability minus the
+	// word's hard faults (e.g. DECTED clean word: 2; DECTED word with
+	// one hard fault: 1; SECDED clean word: 1).
+	TolerableSoft int
+}
+
+// Validate reports whether the class is usable.
+func (w WordClass) Validate() error {
+	if w.Count < 0 || w.Bits <= 0 || w.TolerableSoft < 0 {
+		return fmt.Errorf("faults: invalid word class %+v", w)
+	}
+	return nil
+}
+
+// DUERate returns the detected-uncorrectable-error rate (events per
+// second) of a word inventory under per-bit soft-error rate lambda
+// (errors/bit/second) with periodic scrubbing every scrubSeconds:
+// each word accumulates Poisson(bits·lambda·T) upsets per interval and
+// fails the interval with probability P(N > tolerable).
+func DUERate(classes []WordClass, lambda, scrubSeconds float64) (float64, error) {
+	if lambda < 0 || scrubSeconds <= 0 {
+		return 0, fmt.Errorf("faults: invalid SER parameters lambda=%g scrub=%g", lambda, scrubSeconds)
+	}
+	var rate float64
+	for _, c := range classes {
+		if err := c.Validate(); err != nil {
+			return 0, err
+		}
+		mu := float64(c.Bits) * lambda * scrubSeconds
+		pFail := PoissonTail(mu, c.TolerableSoft)
+		rate += float64(c.Count) * pFail / scrubSeconds
+	}
+	return rate, nil
+}
+
+// MTTFYears converts a DUE rate into mean time to failure in years.
+func MTTFYears(duePerSecond float64) float64 {
+	if duePerSecond <= 0 {
+		return math.Inf(1)
+	}
+	const secondsPerYear = 365.25 * 24 * 3600
+	return 1 / duePerSecond / secondsPerYear
+}

@@ -1,0 +1,120 @@
+package faults
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPoissonTailBasics(t *testing.T) {
+	if got := PoissonTail(0, 0); got != 0 {
+		t.Errorf("P(N>0 | mu=0) = %g, want 0", got)
+	}
+	// P(N > 0) = 1 - e^-mu.
+	mu := 0.3
+	if got, want := PoissonTail(mu, 0), 1-math.Exp(-mu); math.Abs(got-want) > 1e-12 {
+		t.Errorf("P(N>0) = %g, want %g", got, want)
+	}
+	// Small-mu asymptotics: P(N > 1) ≈ mu²/2.
+	mu = 1e-4
+	if got, want := PoissonTail(mu, 1), mu*mu/2; math.Abs(got-want)/want > 1e-3 {
+		t.Errorf("P(N>1) = %g, want ≈ %g", got, want)
+	}
+	// Tail decreases with k and increases with mu.
+	if PoissonTail(0.5, 2) >= PoissonTail(0.5, 1) {
+		t.Error("tail must decrease with k")
+	}
+	if PoissonTail(0.2, 1) >= PoissonTail(0.6, 1) {
+		t.Error("tail must increase with mu")
+	}
+}
+
+func TestDUERateValidation(t *testing.T) {
+	if _, err := DUERate([]WordClass{{Count: 1, Bits: 39, TolerableSoft: 1}}, -1, 60); err == nil {
+		t.Error("negative lambda accepted")
+	}
+	if _, err := DUERate([]WordClass{{Count: 1, Bits: 39, TolerableSoft: 1}}, 1e-12, 0); err == nil {
+		t.Error("zero scrub interval accepted")
+	}
+	if _, err := DUERate([]WordClass{{Count: -1, Bits: 39, TolerableSoft: 1}}, 1e-12, 60); err == nil {
+		t.Error("invalid class accepted")
+	}
+}
+
+// scenarioBInventories builds the word populations of the ULE way for
+// baseline B (10T+SECDED, fault-free words) and proposed B (8T+DECTED,
+// a few words carrying one hard fault).
+func scenarioBInventories(faultyWords int) (baseline, proposed []WordClass) {
+	const words = 256 + 32 // data + tag words of the 1 KB way
+	baseline = []WordClass{
+		{Count: words, Bits: 39, TolerableSoft: 1}, // SECDED corrects 1
+	}
+	proposed = []WordClass{
+		{Count: words - faultyWords, Bits: 45, TolerableSoft: 2}, // DECTED corrects 2
+		{Count: faultyWords, Bits: 45, TolerableSoft: 1},         // one correction consumed
+	}
+	return baseline, proposed
+}
+
+func TestProposedScenarioBDoesNotRegressSoftErrorMTTF(t *testing.T) {
+	// The paper's claim ("keeping the same ... reliability levels") on
+	// the soft-error axis: with the expected handful of hard-faulty
+	// words at the sized 8T Pf, the DECTED design's DUE rate must not
+	// exceed the SECDED baseline's.
+	const lambda = 1e-13 // soft errors per bit per second (SER-class)
+	for _, scrub := range []float64{60, 3600, 86400} {
+		for _, faulty := range []int{0, 2, 7, 20} {
+			base, prop := scenarioBInventories(faulty)
+			rb, err := DUERate(base, lambda, scrub)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rp, err := DUERate(prop, lambda, scrub)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rp > rb {
+				t.Errorf("scrub=%gs faulty=%d: proposed DUE rate %.3g above baseline %.3g",
+					scrub, faulty, rp, rb)
+			}
+		}
+	}
+}
+
+func TestDUERateScalesWithScrubInterval(t *testing.T) {
+	// Less frequent scrubbing → more accumulation → higher DUE rate.
+	base, _ := scenarioBInventories(0)
+	prev := 0.0
+	for _, scrub := range []float64{60, 600, 6000, 60000} {
+		r, err := DUERate(base, 1e-12, scrub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r <= prev {
+			t.Errorf("scrub=%gs: DUE rate %.3g not above previous %.3g", scrub, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestMTTFYears(t *testing.T) {
+	if !math.IsInf(MTTFYears(0), 1) {
+		t.Error("zero rate must give infinite MTTF")
+	}
+	// 1 event per year.
+	perYear := 1.0 / (365.25 * 24 * 3600)
+	if got := MTTFYears(perYear); math.Abs(got-1) > 1e-9 {
+		t.Errorf("MTTF = %g years, want 1", got)
+	}
+}
+
+func TestAllFaultyWordsEqualsSECDEDBehaviour(t *testing.T) {
+	// Degenerate check: a DECTED way where EVERY word has one hard
+	// fault behaves like SECDED on slightly longer words — strictly
+	// worse than the 39-bit SECDED baseline.
+	base, prop := scenarioBInventories(288)
+	rb, _ := DUERate(base, 1e-12, 3600)
+	rp, _ := DUERate(prop, 1e-12, 3600)
+	if rp <= rb {
+		t.Errorf("fully-faulty DECTED way (45-bit words, tol 1) should have higher DUE rate than 39-bit SECDED: %.3g vs %.3g", rp, rb)
+	}
+}

@@ -1,0 +1,95 @@
+// Package stats renders the experiment outputs: aligned ASCII tables for
+// the sizing/area/yield results and stacked horizontal bars for the
+// normalized EPI breakdowns of Figures 3 and 4.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a minimal column-aligned text table.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// AddRow appends a row; it must have exactly one cell per column.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.headers) {
+		panic(fmt.Sprintf("stats: row has %d cells, table has %d columns", len(cells), len(t.headers)))
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	rule := make([]string, len(t.headers))
+	for i, w := range widths {
+		rule[i] = strings.Repeat("-", w)
+	}
+	writeRow(rule)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Segment is one component of a stacked bar.
+type Segment struct {
+	Rune  rune    // glyph used to fill this segment
+	Value float64 // component value (same unit as the bar scale)
+}
+
+// StackedBar renders one horizontal stacked bar. scale is the value that
+// maps to full width (the baseline total for normalized EPI plots).
+func StackedBar(label string, segments []Segment, scale float64, width int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s |", label)
+	total := 0.0
+	used := 0
+	for _, s := range segments {
+		total += s.Value
+		n := int(s.Value/scale*float64(width) + 0.5)
+		if used+n > width {
+			n = width - used
+		}
+		b.WriteString(strings.Repeat(string(s.Rune), n))
+		used += n
+	}
+	if used < width {
+		b.WriteString(strings.Repeat(" ", width-used))
+	}
+	fmt.Fprintf(&b, "| %.3f", total/scale)
+	return b.String()
+}
+
+// Pct formats a fraction as a signed percentage.
+func Pct(f float64) string { return fmt.Sprintf("%+.1f%%", 100*f) }

@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("a", "1")
+	tb.AddRow("longer-name", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4", len(lines))
+	}
+	if len(lines[0]) != len(lines[1]) || len(lines[1]) != len(lines[3]) {
+		t.Errorf("misaligned rows:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Errorf("missing rule:\n%s", out)
+	}
+}
+
+func TestTableRowValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong-arity row must panic")
+		}
+	}()
+	NewTable("a", "b").AddRow("only-one")
+}
+
+func TestStackedBarWidthAndTotal(t *testing.T) {
+	bar := StackedBar("label", []Segment{
+		{Rune: 'D', Value: 0.5},
+		{Rune: 'L', Value: 0.25},
+	}, 1.0, 40)
+	if !strings.Contains(bar, "0.750") {
+		t.Errorf("total missing: %q", bar)
+	}
+	inner := bar[strings.Index(bar, "|")+1 : strings.LastIndex(bar, "|")]
+	if len(inner) != 40 {
+		t.Errorf("bar body %d chars, want 40", len(inner))
+	}
+	if strings.Count(inner, "D") != 20 || strings.Count(inner, "L") != 10 {
+		t.Errorf("segment widths wrong: %q", inner)
+	}
+}
+
+func TestStackedBarClamps(t *testing.T) {
+	bar := StackedBar("x", []Segment{{Rune: '#', Value: 2.0}}, 1.0, 10)
+	inner := bar[strings.Index(bar, "|")+1 : strings.LastIndex(bar, "|")]
+	if len(inner) != 10 {
+		t.Errorf("overflow not clamped: %q", inner)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.123); got != "+12.3%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(-0.05); got != "-5.0%" {
+		t.Errorf("Pct = %q", got)
+	}
+}

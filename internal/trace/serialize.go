@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary trace format: a 12-byte header (magic, version, count) followed
+// by fixed-width 12-byte records. The format exists so traces can be
+// generated once (cmd/tracegen), archived, and replayed byte-identically
+// against any configuration — the workflow the paper's MPSim + binary
+// setup implies.
+const (
+	traceMagic   = 0x45444354 // "EDCT"
+	traceVersion = 1
+)
+
+// Record flags.
+const (
+	flagLoad   = 1 << 0
+	flagStore  = 1 << 1
+	flagBranch = 1 << 2
+	flagTaken  = 1 << 3
+)
+
+// Write serialises the full stream to w and returns the record count.
+func Write(w io.Writer, s Stream) (int, error) {
+	bw := bufio.NewWriter(w)
+	// The record count lives in a 4-byte *trailer* rather than the
+	// header so Write can stream in a single pass over a plain
+	// io.Writer (streams don't know their length up front).
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], traceMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], traceVersion)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	count := 0
+	var rec [12]byte
+	for {
+		inst, ok := s.Next()
+		if !ok {
+			break
+		}
+		binary.LittleEndian.PutUint32(rec[0:4], inst.PC)
+		binary.LittleEndian.PutUint32(rec[4:8], inst.Addr)
+		var flags byte
+		if inst.IsLoad {
+			flags |= flagLoad
+		}
+		if inst.IsStore {
+			flags |= flagStore
+		}
+		if inst.IsBranch {
+			flags |= flagBranch
+		}
+		if inst.Taken {
+			flags |= flagTaken
+		}
+		rec[8] = flags
+		rec[9] = inst.UseDist
+		rec[10], rec[11] = 0, 0
+		if _, err := bw.Write(rec[:]); err != nil {
+			return count, err
+		}
+		count++
+	}
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], uint32(count))
+	if _, err := bw.Write(trailer[:]); err != nil {
+		return count, err
+	}
+	return count, bw.Flush()
+}
+
+// Reader replays a serialised trace as a Stream.
+type Reader struct {
+	br   *bufio.Reader
+	err  error
+	done bool
+	read uint32 // records streamed so far, checked against the trailer
+}
+
+// NewReader validates the header and returns a replaying stream.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %#x", binary.LittleEndian.Uint32(hdr[0:4]))
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	return &Reader{br: br}, nil
+}
+
+// Next implements Stream. The 12-byte records are distinguished from the
+// 4-byte trailer by read length: a full record keeps streaming, a short
+// tail ends the trace.
+func (r *Reader) Next() (Inst, bool) {
+	if r.done || r.err != nil {
+		return Inst{}, false
+	}
+	var rec [12]byte
+	n, err := io.ReadFull(r.br, rec[:])
+	if err != nil {
+		r.done = true
+		if n == 4 {
+			// The 4-byte trailer: validate the record count so a
+			// truncated file cannot pass silently.
+			if count := binary.LittleEndian.Uint32(rec[0:4]); count != r.read {
+				r.err = fmt.Errorf("trace: trailer count %d, streamed %d records (truncated file?)", count, r.read)
+			}
+			return Inst{}, false
+		}
+		if err != io.EOF || n != 0 {
+			r.err = fmt.Errorf("trace: truncated record after %d records", r.read)
+		} else {
+			r.err = fmt.Errorf("trace: missing trailer after %d records", r.read)
+		}
+		return Inst{}, false
+	}
+	r.read++
+	flags := rec[8]
+	return Inst{
+		PC:       binary.LittleEndian.Uint32(rec[0:4]),
+		Addr:     binary.LittleEndian.Uint32(rec[4:8]),
+		IsLoad:   flags&flagLoad != 0,
+		IsStore:  flags&flagStore != 0,
+		IsBranch: flags&flagBranch != 0,
+		Taken:    flags&flagTaken != 0,
+		UseDist:  rec[9],
+	}, true
+}
+
+// Err reports a non-EOF read failure encountered during streaming.
+func (r *Reader) Err() error { return r.err }

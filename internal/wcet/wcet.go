@@ -1,0 +1,264 @@
+// Package wcet implements the static worst-case execution time analysis
+// that motivates the whole architecture. The paper's target market runs
+// critical applications that need WCET bounds (Wilhelm et al. [20]); its
+// central argument against simply shrinking bitcells is that the
+// resulting faulty entries "should be then disabled and strong
+// performance guarantees required by critical applications would not be
+// achievable" (Sections I–II, against [21], [1], [7]).
+//
+// This package makes that argument quantitative. It performs a
+// must-analysis for LRU caches over loop-structured programs — the
+// standard abstract-interpretation style classification of accesses into
+// always-hit / always-miss after warm-up — under three regimes:
+//
+//  1. a fault-free cache (the paper's baseline and proposed designs:
+//     faults either do not exist or are corrected transparently by EDC,
+//     so the geometry seen by the analysis is the nominal one);
+//  2. the proposed design's one-extra-cycle EDC hit latency;
+//  3. a fault-disabling cache (the rejected alternative): faulty lines
+//     are disabled, and because fault locations are die-dependent the
+//     analysis must assume the *worst-case placement* of the disabled
+//     lines, collapsing associativity exactly where the program needs it.
+//
+// The headline product is the WCET inflation curve of experiment E8: a
+// handful of disabled lines can multiply the guaranteed bound even
+// though the average case barely moves — while the EDC design pays only
+// its small deterministic latency.
+package wcet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Access is one memory reference in a loop body, identified by the cache
+// line it touches (addresses are line-granular for the analysis).
+type Access struct {
+	Line uint32 // line address (byte address >> log2(lineBytes))
+}
+
+// Loop is a simple loop nest: a body of line-granular references executed
+// a fixed number of iterations. Real WCET analyses work on CFGs; the
+// loop abstraction captures what the cache argument needs (reuse across
+// iterations vs conflict capacity).
+type Loop struct {
+	Name       string
+	Body       []Access
+	Iterations int
+	// NonMemCycles is the number of non-memory execution cycles per
+	// iteration (issue slots for ALU work).
+	NonMemCycles int
+}
+
+// Validate reports whether the loop is analyzable.
+func (l Loop) Validate() error {
+	if l.Iterations <= 0 {
+		return fmt.Errorf("wcet: loop %q has %d iterations", l.Name, l.Iterations)
+	}
+	if len(l.Body) == 0 {
+		return fmt.Errorf("wcet: loop %q has an empty body", l.Name)
+	}
+	if l.NonMemCycles < 0 {
+		return fmt.Errorf("wcet: loop %q has negative work", l.Name)
+	}
+	return nil
+}
+
+// CacheSpec is the analysable cache geometry.
+type CacheSpec struct {
+	Sets         int
+	Ways         int
+	HitLatency   int         // cycles per hit (1 baseline, 2 with the EDC stage)
+	MissLatency  int         // additional cycles per miss (memory access)
+	DisabledWays map[int]int // set index -> number of disabled ways in that set
+}
+
+// Validate reports whether the spec is usable.
+func (c CacheSpec) Validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("wcet: sets %d not a power of two", c.Sets)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("wcet: ways %d", c.Ways)
+	}
+	if c.HitLatency < 1 || c.MissLatency < 1 {
+		return fmt.Errorf("wcet: latencies %d/%d", c.HitLatency, c.MissLatency)
+	}
+	for set, d := range c.DisabledWays {
+		if set < 0 || set >= c.Sets {
+			return fmt.Errorf("wcet: disabled set %d out of range", set)
+		}
+		if d < 0 || d > c.Ways {
+			return fmt.Errorf("wcet: %d disabled ways in set %d", d, set)
+		}
+	}
+	return nil
+}
+
+// effectiveWays returns the guaranteed associativity of a set.
+func (c CacheSpec) effectiveWays(set int) int {
+	return c.Ways - c.DisabledWays[set]
+}
+
+// Classification of one body access.
+type Classification int
+
+const (
+	// AlwaysHit: guaranteed to hit in every iteration after warm-up.
+	AlwaysHit Classification = iota
+	// AlwaysMiss: cannot be guaranteed to hit in any iteration (the
+	// conservative WCET assumption for non-persistent lines).
+	AlwaysMiss
+)
+
+// Result is the outcome of analysing one loop against one cache.
+type Result struct {
+	Loop string
+	Hits int // body accesses classified AlwaysHit
+	Miss int // body accesses classified AlwaysMiss
+	// WCETCycles is the guaranteed execution-time bound.
+	WCETCycles uint64
+	// ColdMisses counts first-iteration compulsory misses of persistent
+	// lines (charged once, not per iteration).
+	ColdMisses int
+}
+
+// Analyze performs the must-analysis: a line is *persistent* (always hit
+// after its first access) iff the number of distinct lines of the body
+// mapping to its set is at most the set's guaranteed associativity —
+// then LRU can never evict it within one iteration's reuse distance.
+// Accesses to non-persistent lines are conservatively always-miss.
+func Analyze(spec CacheSpec, loop Loop) (Result, error) {
+	if err := spec.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := loop.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	// Distinct lines per set.
+	linesPerSet := make(map[int]map[uint32]bool)
+	for _, a := range loop.Body {
+		set := int(a.Line) & (spec.Sets - 1)
+		if linesPerSet[set] == nil {
+			linesPerSet[set] = make(map[uint32]bool)
+		}
+		linesPerSet[set][a.Line] = true
+	}
+
+	persistent := func(line uint32) bool {
+		set := int(line) & (spec.Sets - 1)
+		eff := spec.effectiveWays(set)
+		return eff > 0 && len(linesPerSet[set]) <= eff
+	}
+
+	res := Result{Loop: loop.Name}
+	coldLines := make(map[uint32]bool)
+	var hitCycles, missCycles uint64
+	for _, a := range loop.Body {
+		if persistent(a.Line) {
+			res.Hits++
+			hitCycles += uint64(spec.HitLatency)
+			if !coldLines[a.Line] {
+				coldLines[a.Line] = true
+				res.ColdMisses++
+			}
+		} else {
+			res.Miss++
+			missCycles += uint64(spec.HitLatency + spec.MissLatency)
+		}
+	}
+	perIter := hitCycles + missCycles + uint64(loop.NonMemCycles)
+	res.WCETCycles = perIter*uint64(loop.Iterations) +
+		uint64(res.ColdMisses)*uint64(spec.MissLatency)
+	return res, nil
+}
+
+// WorstCaseDisabled returns a CacheSpec with `faultyLines` disabled
+// lines placed adversarially for the given loop: faults are assigned to
+// the sets where the program's guaranteed hits are most fragile (largest
+// working sets first), because a WCET analysis cannot assume anything
+// better — fault locations vary per die, so the bound must hold for the
+// worst die (the paper's argument for why disabling breaks guarantees).
+func WorstCaseDisabled(spec CacheSpec, loop Loop, faultyLines int) CacheSpec {
+	// Count distinct body lines per set.
+	linesPerSet := make(map[int]int)
+	seen := make(map[uint32]bool)
+	for _, a := range loop.Body {
+		if seen[a.Line] {
+			continue
+		}
+		seen[a.Line] = true
+		linesPerSet[int(a.Line)&(spec.Sets-1)]++
+	}
+	// Order sets by how close they are to losing persistence: sets
+	// whose distinct-line count equals the associativity break with one
+	// disabled way.
+	type setLoad struct{ set, lines int }
+	var loads []setLoad
+	for set, n := range linesPerSet {
+		loads = append(loads, setLoad{set, n})
+	}
+	sort.Slice(loads, func(i, j int) bool {
+		if loads[i].lines != loads[j].lines {
+			return loads[i].lines > loads[j].lines
+		}
+		return loads[i].set < loads[j].set
+	})
+	out := spec
+	out.DisabledWays = make(map[int]int, len(spec.DisabledWays))
+	for k, v := range spec.DisabledWays {
+		out.DisabledWays[k] = v
+	}
+	remaining := faultyLines
+	for remaining > 0 && len(loads) > 0 {
+		for i := range loads {
+			if remaining == 0 {
+				break
+			}
+			if out.DisabledWays[loads[i].set] < out.Ways {
+				out.DisabledWays[loads[i].set]++
+				remaining--
+			}
+		}
+		// If every loaded set is fully disabled, spill into set 0, 1, …
+		if remaining > 0 {
+			full := true
+			for _, l := range loads {
+				if out.DisabledWays[l.set] < out.Ways {
+					full = false
+					break
+				}
+			}
+			if full {
+				for set := 0; set < out.Sets && remaining > 0; set++ {
+					for out.DisabledWays[set] < out.Ways && remaining > 0 {
+						out.DisabledWays[set]++
+						remaining--
+					}
+				}
+				break
+			}
+		}
+	}
+	return out
+}
+
+// InflationCurve computes the WCET bound as a function of the number of
+// adversarially-placed disabled lines, normalised to the fault-free
+// bound — the quantitative form of the paper's predictability argument.
+func InflationCurve(spec CacheSpec, loop Loop, maxFaulty int) ([]float64, error) {
+	base, err := Analyze(spec, loop)
+	if err != nil {
+		return nil, err
+	}
+	curve := make([]float64, maxFaulty+1)
+	for f := 0; f <= maxFaulty; f++ {
+		r, err := Analyze(WorstCaseDisabled(spec, loop, f), loop)
+		if err != nil {
+			return nil, err
+		}
+		curve[f] = float64(r.WCETCycles) / float64(base.WCETCycles)
+	}
+	return curve, nil
+}

@@ -1,0 +1,202 @@
+package wcet
+
+import (
+	"testing"
+)
+
+// uleWaySpec is the ULE-mode cache seen by the analysis: 32 sets, 1 way
+// (the paper's 7+1 cache with HP ways gated off), 20-cycle memory.
+func uleWaySpec(hitLat int) CacheSpec {
+	return CacheSpec{Sets: 32, Ways: 1, HitLatency: hitLat, MissLatency: 20}
+}
+
+// fittingLoop touches `lines` distinct lines per iteration, all in
+// different sets (conflict-free when lines ≤ sets).
+func fittingLoop(lines, iters int) Loop {
+	body := make([]Access, lines)
+	for i := range body {
+		body[i] = Access{Line: uint32(i)}
+	}
+	return Loop{Name: "fitting", Body: body, Iterations: iters, NonMemCycles: 2}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Analyze(CacheSpec{Sets: 3, Ways: 1, HitLatency: 1, MissLatency: 20}, fittingLoop(4, 10)); err == nil {
+		t.Error("non-power-of-two sets accepted")
+	}
+	if _, err := Analyze(uleWaySpec(1), Loop{Name: "x", Iterations: 0, Body: []Access{{0}}}); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	if _, err := Analyze(uleWaySpec(1), Loop{Name: "x", Iterations: 1}); err == nil {
+		t.Error("empty body accepted")
+	}
+	bad := uleWaySpec(1)
+	bad.DisabledWays = map[int]int{40: 1}
+	if _, err := Analyze(bad, fittingLoop(4, 10)); err == nil {
+		t.Error("out-of-range disabled set accepted")
+	}
+}
+
+func TestFittingLoopIsAllHits(t *testing.T) {
+	res, err := Analyze(uleWaySpec(1), fittingLoop(16, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Miss != 0 || res.Hits != 16 {
+		t.Fatalf("fitting loop classified %d hits / %d misses", res.Hits, res.Miss)
+	}
+	// WCET = iters·(16 hits + 2 work) + 16 cold misses · 20.
+	want := uint64(100*(16+2) + 16*20)
+	if res.WCETCycles != want {
+		t.Errorf("WCET %d, want %d", res.WCETCycles, want)
+	}
+	if res.ColdMisses != 16 {
+		t.Errorf("cold misses %d", res.ColdMisses)
+	}
+}
+
+func TestConflictingLoopIsAlwaysMiss(t *testing.T) {
+	// Two lines in the same set of a direct-mapped way: neither is
+	// persistent.
+	loop := Loop{Name: "conflict", Body: []Access{{Line: 0}, {Line: 32}}, Iterations: 10, NonMemCycles: 0}
+	res, err := Analyze(uleWaySpec(1), loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hits != 0 || res.Miss != 2 {
+		t.Fatalf("conflicting loop: %d hits / %d misses", res.Hits, res.Miss)
+	}
+	if res.WCETCycles != uint64(10*2*(1+20)) {
+		t.Errorf("WCET %d", res.WCETCycles)
+	}
+}
+
+func TestAssociativityRestoresPersistence(t *testing.T) {
+	// The same conflicting pair is persistent with 2 ways.
+	spec := CacheSpec{Sets: 32, Ways: 2, HitLatency: 1, MissLatency: 20}
+	loop := Loop{Name: "conflict", Body: []Access{{Line: 0}, {Line: 32}}, Iterations: 10}
+	res, err := Analyze(spec, loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Miss != 0 {
+		t.Fatalf("2-way cache should make both lines persistent: %+v", res)
+	}
+}
+
+func TestEDCLatencyCostIsSmallAndDeterministic(t *testing.T) {
+	// The proposed design's WCET cost: one extra cycle per guaranteed
+	// hit. For a cache-friendly loop this bounds the WCET inflation at
+	// hits/(hits+work) — a few tens of percent worst case, fully
+	// deterministic, with no dependence on fault locations.
+	loop := fittingLoop(16, 1000)
+	base, err := Analyze(uleWaySpec(1), loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edc, err := Analyze(uleWaySpec(2), loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infl := float64(edc.WCETCycles) / float64(base.WCETCycles)
+	if infl <= 1.0 || infl > 2.0 {
+		t.Errorf("EDC WCET inflation %.3f outside (1, 2]", infl)
+	}
+}
+
+func TestDisablingDestroysGuarantees(t *testing.T) {
+	// The paper's argument quantified: adversarially-placed disabled
+	// lines turn guaranteed hits into guaranteed misses; with a
+	// direct-mapped ULE way a single faulty line already inflates the
+	// bound, and the inflation grows with every additional fault.
+	loop := fittingLoop(16, 1000)
+	curve, err := InflationCurve(uleWaySpec(1), loop, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if curve[0] != 1.0 {
+		t.Fatalf("zero faults must not inflate (got %.3f)", curve[0])
+	}
+	for f := 1; f < len(curve); f++ {
+		if curve[f] < curve[f-1]-1e-12 {
+			t.Fatalf("inflation curve must be non-decreasing: %v", curve)
+		}
+	}
+	if curve[1] <= 1.0 {
+		t.Errorf("one worst-case fault must already hurt a direct-mapped way: %v", curve)
+	}
+	if curve[8] < 2.0 {
+		t.Errorf("8 worst-case faults should at least double the bound, got %.2f", curve[8])
+	}
+
+	// Contrast: the EDC design's deterministic cost is far below the
+	// fault-disabling worst case at the expected fault count. At the
+	// plain-8T fault rate (~8e-4/bit), a 1 KB way expects ~7 faulty
+	// words ⇒ compare at 7 disabled lines.
+	edc, err := Analyze(uleWaySpec(2), loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := Analyze(uleWaySpec(1), loop)
+	edcInfl := float64(edc.WCETCycles) / float64(base.WCETCycles)
+	if edcInfl >= curve[7] {
+		t.Errorf("EDC inflation %.3f not below disabling inflation %.3f at 7 faults",
+			edcInfl, curve[7])
+	}
+}
+
+func TestWorstCasePlacementIsWorstAmongRandomPlacements(t *testing.T) {
+	// The adversarial placement must dominate arbitrary placements of
+	// the same number of faults.
+	loop := fittingLoop(16, 100)
+	spec := uleWaySpec(1)
+	adv := WorstCaseDisabled(spec, loop, 3)
+	advRes, err := Analyze(adv, loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Try a spread of manual placements.
+	for _, sets := range [][]int{{20, 21, 22}, {0, 5, 31}, {15, 16, 17}, {0, 1, 2}} {
+		s := spec
+		s.DisabledWays = map[int]int{}
+		for _, set := range sets {
+			s.DisabledWays[set]++
+		}
+		r, err := Analyze(s, loop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.WCETCycles > advRes.WCETCycles {
+			t.Errorf("placement %v (WCET %d) beats the adversarial one (%d)",
+				sets, r.WCETCycles, advRes.WCETCycles)
+		}
+	}
+}
+
+func TestWorstCaseDisabledSpillsWhenSetsSaturate(t *testing.T) {
+	// More faults than loaded sets: the placement must spill without
+	// losing faults, up to full cache disablement.
+	loop := Loop{Name: "tiny", Body: []Access{{Line: 0}}, Iterations: 5}
+	spec := uleWaySpec(1)
+	out := WorstCaseDisabled(spec, loop, 5)
+	total := 0
+	for _, d := range out.DisabledWays {
+		total += d
+	}
+	if total != 5 {
+		t.Errorf("placed %d faults, want 5", total)
+	}
+}
+
+func TestFullyDisabledSetMeansZeroEffectiveWays(t *testing.T) {
+	spec := uleWaySpec(1)
+	spec.DisabledWays = map[int]int{0: 1}
+	loop := Loop{Name: "single", Body: []Access{{Line: 0}}, Iterations: 3, NonMemCycles: 1}
+	res, err := Analyze(spec, loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hits != 0 || res.Miss != 1 {
+		t.Errorf("access to a dead set must be always-miss: %+v", res)
+	}
+}

@@ -1,0 +1,34 @@
+package yield_test
+
+import (
+	"fmt"
+
+	"edcache/internal/yield"
+)
+
+// The paper's Section III-C example: a 99 % yield target over the ULE
+// way's 8192 data bits requires a per-bit hard-fault rate of 1.22e-6.
+func ExampleRequiredPfBits() {
+	pf := yield.RequiredPfBits(0.99, 8192)
+	fmt.Printf("Pf = %.2e\n", pf)
+	// Output: Pf = 1.23e-06
+}
+
+// Eq. (1) of the paper: survival of a 39-bit SECDED word that may
+// dedicate one correction to a hard fault.
+func ExampleWordSurvival() {
+	p := yield.WordSurvival(1e-4, 39, 1)
+	fmt.Printf("%.6f\n", p)
+	// Output: 0.999993
+}
+
+// Run executes the full Fig. 2 design methodology for the paper's
+// configuration: it sizes the baseline 10T cell for fault-free 350 mV
+// operation and iterates the 8T cell until the SECDED-protected yield
+// matches.
+func ExampleRun() {
+	res, _ := yield.Run(yield.PaperInput(yield.ScenarioA))
+	fmt.Printf("10T %v  8T %v  (plain 8T feasible: %v)\n",
+		res.BaselineCell, res.ProposedCell, res.UncodedFeasible)
+	// Output: 10T 10T(x2.60)  8T 8T(x1.20)  (plain 8T feasible: false)
+}

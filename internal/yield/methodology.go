@@ -1,0 +1,197 @@
+package yield
+
+import (
+	"fmt"
+
+	"edcache/internal/bitcell"
+	"edcache/internal/ecc"
+)
+
+// Scenario selects which of the paper's two reliability baselines the
+// methodology (and later the experiments) targets.
+type Scenario int
+
+const (
+	// ScenarioA: baseline 6T+10T with no coding; proposal replaces the
+	// 10T ULE way by 8T+SECDED (SECDED off at HP mode).
+	ScenarioA Scenario = iota
+	// ScenarioB: baseline 6T+SECDED + 10T+SECDED (soft-error
+	// protection); proposal replaces the ULE way's SECDED by DECTED
+	// (falls back to SECDED at HP mode).
+	ScenarioB
+)
+
+// String names the scenario as the paper does.
+func (s Scenario) String() string {
+	switch s {
+	case ScenarioA:
+		return "A"
+	case ScenarioB:
+		return "B"
+	default:
+		return fmt.Sprintf("Scenario(%d)", int(s))
+	}
+}
+
+// BaselineCode returns the code protecting baseline ULE-way words.
+func (s Scenario) BaselineCode() ecc.Kind {
+	if s == ScenarioB {
+		return ecc.KindSECDED
+	}
+	return ecc.KindNone
+}
+
+// ProposedCode returns the code protecting proposed ULE-way words at ULE
+// mode.
+func (s Scenario) ProposedCode() ecc.Kind {
+	if s == ScenarioB {
+		return ecc.KindDECTED
+	}
+	return ecc.KindSECDED
+}
+
+// Input configures one run of the Fig. 2 design methodology.
+type Input struct {
+	Scenario    Scenario
+	Way         WayGeometry // geometry of one ULE way
+	VccHP       float64     // HP-mode supply (paper: 1.0 V)
+	VccULE      float64     // ULE-mode supply (paper: 0.35 V)
+	TargetYield float64     // cache yield requirement (paper example: 0.99)
+}
+
+// Iteration records one pass of the 8T sizing loop (Fig. 2 steps 2–5).
+type Iteration struct {
+	Size  float64 // transistor size factor tried
+	Pf8T  float64 // hard-fault bit probability at that size
+	Yield float64 // resulting EDC-protected way yield, Eq. (1)/(2)
+	Met   bool    // yield ≥ baseline yield?
+}
+
+// Result is the complete output of the design methodology: the sized
+// cells for every array in both the baseline and the proposed design,
+// plus the evidence trail (targets, yields, iterations).
+type Result struct {
+	Input Input
+
+	// PfTarget is the fault-free per-bit failure-rate requirement
+	// derived from the yield target over the ULE way's payload bits —
+	// the paper's 1.22e-6 example for 99 % yield.
+	PfTarget float64
+
+	// HPCell is the 6T cell sized at VccHP for PfTarget (HP ways).
+	HPCell   bitcell.Cell
+	HPCellPf float64
+
+	// BaselineCell is the 10T cell sized at VccULE for PfTarget
+	// (baseline ULE way), with the baseline way yield Y10T (scenario A)
+	// or Y10T+SECDED (scenario B).
+	BaselineCell  bitcell.Cell
+	BaselinePf    float64
+	BaselineYield float64
+
+	// ProposedCell is the 8T cell sized by the iterative loop until the
+	// EDC-protected yield matches the baseline's.
+	ProposedCell  bitcell.Cell
+	ProposedPf    float64
+	ProposedYield float64
+	Iterations    []Iteration
+
+	// UncodedFeasible reports whether a plain (uncoded) 8T cell could
+	// have met PfTarget at any size — the paper's premise is that it
+	// cannot (its failure floor exceeds the target at 350 mV), which is
+	// what forces either big 10T cells or EDC.
+	UncodedFeasible bool
+}
+
+// Run executes the design methodology of Section III-C / Fig. 2.
+func Run(in Input) (Result, error) {
+	if err := in.Way.Validate(); err != nil {
+		return Result{}, err
+	}
+	if in.TargetYield <= 0 || in.TargetYield >= 1 {
+		return Result{}, fmt.Errorf("yield: target yield %g outside (0,1)", in.TargetYield)
+	}
+	if in.VccULE >= in.VccHP {
+		return Result{}, fmt.Errorf("yield: ULE voltage %.3f must be below HP voltage %.3f", in.VccULE, in.VccHP)
+	}
+	res := Result{Input: in}
+
+	// Step 0 (Section III-C): derive the fault-free Pf requirement from
+	// the yield target. The paper's example ("99 % yield for an 8 KB
+	// cache ⇒ Pf = 1.22e-6") back-solves to the 8192 *data* bits of the
+	// 1 KB ULE way, so the requirement is derived over data bits; tag
+	// words still participate in the Eq. (2) yield evaluations below.
+	res.PfTarget = RequiredPfBits(in.TargetYield, in.Way.DataWords()*in.Way.DataBits)
+
+	// HP ways: size 6T at high voltage for the same requirement.
+	hp, ok := bitcell.SizeFor(bitcell.T6, in.VccHP, res.PfTarget)
+	if !ok {
+		return Result{}, fmt.Errorf("yield: 6T cannot meet Pf=%.3g at %.2f V", res.PfTarget, in.VccHP)
+	}
+	res.HPCell = hp
+	res.HPCellPf = hp.FailureProb(in.VccHP)
+
+	// Baseline ULE way: size 10T at NST voltage to match the same Pf
+	// (Fig. 2, "10T bitcells sizing", step 1), then compute its yield
+	// (step 2). In scenario B the words carry SECDED check bits that
+	// also must be fault-free (SECDED is reserved for soft errors).
+	base, ok := bitcell.SizeFor(bitcell.T10, in.VccULE, res.PfTarget)
+	if !ok {
+		return Result{}, fmt.Errorf("yield: 10T cannot meet Pf=%.3g at %.2f V", res.PfTarget, in.VccULE)
+	}
+	res.BaselineCell = base
+	res.BaselinePf = base.FailureProb(in.VccULE)
+	bCheck := in.Scenario.BaselineCode().CheckBits()
+	res.BaselineYield = WaySurvival(res.BaselinePf, in.Way, bCheck, bCheck, 0)
+
+	// Sanity premise: plain 8T must NOT be able to reach the fault-free
+	// target (otherwise the baseline would simply have used it).
+	_, res.UncodedFeasible = bitcell.SizeFor(bitcell.T8, in.VccULE, res.PfTarget)
+
+	// Proposed ULE way: iterate 8T size from minimum until the
+	// EDC-protected yield reaches the baseline's (Fig. 2, "Replacing 10T
+	// bitcells with 8T bitcells and EDC", steps 1–6). The proposed code
+	// can always dedicate one correction per word to a hard fault.
+	pCheck := in.Scenario.ProposedCode().CheckBits()
+	for size := 1.0; ; size += bitcell.SizeStep {
+		if size > bitcell.MaxSizeFactor+1e-9 {
+			return Result{}, fmt.Errorf("yield: 8T+%v cannot reach yield %.4f at %.2f V within size bound",
+				in.Scenario.ProposedCode(), res.BaselineYield, in.VccULE)
+		}
+		cell := bitcell.MustNew(bitcell.T8, quantiseSize(size))
+		pf := cell.FailureProb(in.VccULE)
+		y := WaySurvival(pf, in.Way, pCheck, pCheck, 1)
+		met := y >= res.BaselineYield
+		res.Iterations = append(res.Iterations, Iteration{Size: cell.Size, Pf8T: pf, Yield: y, Met: met})
+		if met {
+			res.ProposedCell = cell
+			res.ProposedPf = pf
+			res.ProposedYield = y
+			break
+		}
+	}
+	return res, nil
+}
+
+func quantiseSize(s float64) float64 {
+	steps := int(s/bitcell.SizeStep + 0.5)
+	return float64(steps) * bitcell.SizeStep
+}
+
+// PaperWay returns the ULE-way geometry of the paper's evaluation: an
+// 8 KB, 8-way cache with a 7+1 split, 32-byte lines ⇒ the single ULE way
+// holds 32 lines of 8 data words (32 bits) plus one 26-bit tag word each.
+func PaperWay() WayGeometry {
+	return WayGeometry{Lines: 32, WordsPerLine: 8, DataBits: 32, TagBits: 26}
+}
+
+// PaperInput returns the methodology input for the paper's configuration.
+func PaperInput(s Scenario) Input {
+	return Input{
+		Scenario:    s,
+		Way:         PaperWay(),
+		VccHP:       1.0,
+		VccULE:      0.35,
+		TargetYield: 0.99,
+	}
+}
