@@ -7,27 +7,56 @@
 // Usage:
 //
 //	edctool [-code secded|dected|parity] [-bits 32] [-data 0xDEADBEEF] [-flip 3,17,40]
+//
+// Exit status: 0 on exact recovery, 2 on a detected-uncorrectable
+// error, 3 on silent miscorrection, 4 on bad flags.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"os"
+	"io"
 	"strconv"
 	"strings"
 
+	"edcache/internal/cli"
 	"edcache/internal/ecc"
 )
 
+// Verdict errors map to the distinct exit codes scripted callers key on.
 var (
-	codeFlag = flag.String("code", "secded", "code family: secded, dected or parity")
-	bitsFlag = flag.Int("bits", 32, "data word width (paper: 32 for data, 26 for tags)")
-	dataFlag = flag.String("data", "0xDEADBEEF", "data word (hex or decimal)")
-	flipFlag = flag.String("flip", "", "comma-separated bit positions to flip in the codeword")
+	errUncorrectable = errors.New("uncorrectable — the architecture would signal a fault")
+	errSilent        = errors.New("silent miscorrection (error weight exceeded the code's guarantee)")
 )
 
 func main() {
-	flag.Parse()
+	cli.Main("edctool", run, func(err error) (int, bool) {
+		switch {
+		case errors.Is(err, errUncorrectable):
+			return 2, true
+		case errors.Is(err, errSilent):
+			return 3, true
+		case errors.Is(err, cli.ErrBadFlags):
+			return 4, true // message already printed by the FlagSet
+		default:
+			return 0, false
+		}
+	})
+}
+
+// run is the testable driver body.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("edctool", flag.ContinueOnError)
+	var (
+		codeFlag = fs.String("code", "secded", "code family: secded, dected or parity")
+		bitsFlag = fs.Int("bits", 32, "data word width (paper: 32 for data, 26 for tags)")
+		dataFlag = fs.String("data", "0xDEADBEEF", "data word (hex or decimal)")
+		flipFlag = fs.String("flip", "", "comma-separated bit positions to flip in the codeword")
+	)
+	if err := cli.Parse(fs, args); err != nil {
+		return err
+	}
 
 	var kind ecc.Kind
 	switch strings.ToLower(*codeFlag) {
@@ -38,54 +67,55 @@ func main() {
 	case "parity":
 		kind = ecc.KindParity
 	default:
-		fail(fmt.Errorf("unknown code %q", *codeFlag))
+		return fmt.Errorf("unknown code %q", *codeFlag)
 	}
 	codec, err := ecc.New(kind, *bitsFlag)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	data, err := strconv.ParseUint(strings.TrimPrefix(strings.ToLower(*dataFlag), "0x"), 16, 64)
 	if err != nil {
 		if data, err = strconv.ParseUint(*dataFlag, 0, 64); err != nil {
-			fail(fmt.Errorf("cannot parse data %q", *dataFlag))
+			return fmt.Errorf("cannot parse data %q", *dataFlag)
 		}
 	}
 	data &= ecc.DataMask(codec)
 
 	cw := codec.Encode(data)
 	n := ecc.TotalBits(codec)
-	fmt.Printf("%s: %d data bits + %d check bits = %d-bit codeword\n",
+	fmt.Fprintf(stdout, "%s: %d data bits + %d check bits = %d-bit codeword\n",
 		codec.Name(), codec.DataBits(), codec.CheckBits(), n)
-	fmt.Printf("data      : %#x\n", data)
-	fmt.Printf("codeword  : %s   (check bits: %#x)\n", bits(cw, n), cw>>uint(codec.DataBits()))
+	fmt.Fprintf(stdout, "data      : %#x\n", data)
+	fmt.Fprintf(stdout, "codeword  : %s   (check bits: %#x)\n", bits(cw, n), cw>>uint(codec.DataBits()))
 
 	corrupted := cw
 	if *flipFlag != "" {
 		for _, f := range strings.Split(*flipFlag, ",") {
 			pos, err := strconv.Atoi(strings.TrimSpace(f))
 			if err != nil || pos < 0 || pos >= n {
-				fail(fmt.Errorf("bad flip position %q (codeword has %d bits)", f, n))
+				return fmt.Errorf("bad flip position %q (codeword has %d bits)", f, n)
 			}
 			corrupted ^= 1 << uint(pos)
 		}
-		fmt.Printf("corrupted : %s   (flipped: %s)\n", bits(corrupted, n), *flipFlag)
+		fmt.Fprintf(stdout, "corrupted : %s   (flipped: %s)\n", bits(corrupted, n), *flipFlag)
 	}
 
 	got, res := codec.Decode(corrupted)
-	fmt.Printf("decoded   : %#x   status: %v", got, res.Status)
+	fmt.Fprintf(stdout, "decoded   : %#x   status: %v", got, res.Status)
 	if res.Status == ecc.Corrected {
-		fmt.Printf(" (%d bit(s) repaired)", res.Corrected)
+		fmt.Fprintf(stdout, " (%d bit(s) repaired)", res.Corrected)
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 	switch {
 	case res.Status == ecc.Detected:
-		fmt.Println("verdict   : uncorrectable — the architecture would signal a fault")
-		os.Exit(2)
+		fmt.Fprintln(stdout, "verdict   : uncorrectable — the architecture would signal a fault")
+		return errUncorrectable
 	case got == data:
-		fmt.Println("verdict   : data recovered exactly")
+		fmt.Fprintln(stdout, "verdict   : data recovered exactly")
+		return nil
 	default:
-		fmt.Println("verdict   : SILENT MISCORRECTION (error weight exceeded the code's guarantee)")
-		os.Exit(3)
+		fmt.Fprintln(stdout, "verdict   : SILENT MISCORRECTION (error weight exceeded the code's guarantee)")
+		return errSilent
 	}
 }
 
@@ -102,9 +132,4 @@ func bits(v uint64, n int) string {
 		}
 	}
 	return b.String()
-}
-
-func fail(err error) {
-	fmt.Fprintf(os.Stderr, "edctool: %v\n", err)
-	os.Exit(1)
 }

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestCleanDecode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-code", "secded", "-data", "0xDEADBEEF"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "data recovered exactly") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestSingleFlipCorrected(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-code", "secded", "-flip", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "repaired") {
+		t.Fatalf("single flip not corrected:\n%s", out.String())
+	}
+}
+
+func TestDoubleFlipDetected(t *testing.T) {
+	err := run([]string{"-code", "secded", "-flip", "3,17"}, &bytes.Buffer{})
+	if !errors.Is(err, errUncorrectable) {
+		t.Fatalf("double flip under SECDED: err = %v, want uncorrectable", err)
+	}
+}
+
+func TestDoubleFlipDECTEDCorrected(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-code", "dected", "-flip", "3,17"}, &out); err != nil {
+		t.Fatalf("double flip under DECTED: %v", err)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-code", "magic"},
+		{"-data", "notanumber"},
+		{"-flip", "999"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,564 +1,77 @@
 // Command experiments regenerates every table and figure of the paper's
-// evaluation (Section IV) plus the ablations called out in DESIGN.md.
+// evaluation (Section IV) plus the ablations and sweeps, through the
+// concurrent experiment engine (internal/sim). It is a thin driver over
+// the internal/experiments registry.
 //
 // Usage:
 //
-//	experiments [-instructions N] [-only sizing|yield|fig3|fig4|headline|area|reliability|wcet|ser|ablations]
+//	experiments [-run name,...|all] [-workers N] [-format text|json|csv]
+//	            [-seed S] [-instructions N] [-trials N] [-list]
 //
-// With no -only flag every experiment runs in order. See EXPERIMENTS.md
-// for the paper-vs-measured record produced from this output.
+// Experiment names may be unique prefixes ("rel" for "reliability").
+// For a fixed -seed, output is byte-identical for every -workers value.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math"
-	"math/rand"
-	"os"
+	"io"
 
-	"edcache/internal/bench"
-	"edcache/internal/bitcell"
-	"edcache/internal/core"
-	"edcache/internal/ecc"
-	"edcache/internal/energy"
-	"edcache/internal/faults"
+	"edcache/internal/cli"
+	"edcache/internal/experiments"
+	"edcache/internal/sim"
 	"edcache/internal/stats"
-	"edcache/internal/wcet"
-	"edcache/internal/yield"
-)
-
-var (
-	instructions = flag.Int("instructions", 300_000, "dynamic instructions per benchmark run")
-	only         = flag.String("only", "", "run a single experiment: sizing|yield|fig3|fig4|headline|area|reliability|wcet|ser|ablations")
 )
 
 func main() {
-	flag.Parse()
-	steps := []struct {
-		name string
-		fn   func() error
-	}{
-		{"sizing", runSizing},
-		{"yield", runYield},
-		{"fig3", runFig3},
-		{"fig4", runFig4},
-		{"headline", runHeadline},
-		{"area", runArea},
-		{"reliability", runReliability},
-		{"wcet", runWCET},
-		{"ser", runSER},
-		{"ablations", runAblations},
-	}
-	ran := false
-	for _, s := range steps {
-		if *only != "" && *only != s.name {
-			continue
-		}
-		ran = true
-		if err := s.fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", s.name, err)
-			os.Exit(1)
-		}
-	}
-	if !ran {
-		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *only)
-		os.Exit(1)
-	}
+	cli.Main("experiments", run, nil)
 }
 
-func header(title string) {
-	fmt.Printf("\n========== %s ==========\n\n", title)
-}
-
-func suite(m core.Mode) []bench.Workload {
-	ws := core.PaperModeWorkloads(m)
-	for i := range ws {
-		ws[i] = ws[i].ScaledTo(*instructions)
-	}
-	return ws
-}
-
-// runSizing reproduces the Fig. 2 design methodology (experiment E4).
-func runSizing() error {
-	header("E4: design methodology (paper Fig. 2, Section III-C)")
-	for _, s := range []yield.Scenario{yield.ScenarioA, yield.ScenarioB} {
-		res, err := yield.Run(yield.PaperInput(s))
-		if err != nil {
-			return err
-		}
-		fmt.Printf("Scenario %v (baseline code: %v, proposed code: %v)\n",
-			s, s.BaselineCode(), s.ProposedCode())
-		fmt.Printf("  Pf target (99%% yield, 8192 data bits): %.3g  [paper: 1.22e-6]\n", res.PfTarget)
-		tb := stats.NewTable("array", "cell", "size", "Pf(bit)", "way yield")
-		tb.AddRow("HP ways @1V", res.HPCell.Topo.String(), fmt.Sprintf("x%.2f", res.HPCell.Size),
-			fmt.Sprintf("%.3g", res.HPCellPf), "-")
-		tb.AddRow("ULE way baseline @350mV", res.BaselineCell.Topo.String(), fmt.Sprintf("x%.2f", res.BaselineCell.Size),
-			fmt.Sprintf("%.3g", res.BaselinePf), fmt.Sprintf("%.5f", res.BaselineYield))
-		tb.AddRow("ULE way proposed @350mV", res.ProposedCell.Topo.String(), fmt.Sprintf("x%.2f", res.ProposedCell.Size),
-			fmt.Sprintf("%.3g", res.ProposedPf), fmt.Sprintf("%.5f", res.ProposedYield))
-		fmt.Print(tb.String())
-		fmt.Printf("  plain (uncoded) 8T can reach the fault-free target: %v  [paper premise: false]\n", res.UncodedFeasible)
-		fmt.Printf("  8T+%v sizing iterations:\n", s.ProposedCode())
-		it := stats.NewTable("iter", "size", "Pf(8T)", "yield", "meets baseline yield")
-		for i, step := range res.Iterations {
-			it.AddRow(fmt.Sprint(i+1), fmt.Sprintf("x%.2f", step.Size),
-				fmt.Sprintf("%.3g", step.Pf8T), fmt.Sprintf("%.5f", step.Yield), fmt.Sprint(step.Met))
-		}
-		fmt.Print(it.String())
-		fmt.Println()
-	}
-	return nil
-}
-
-// runYield prints the Eq. (1)/(2) validation (experiment E6).
-func runYield() error {
-	header("E6: yield equations (paper Eq. 1-2)")
-	g := yield.PaperWay()
-	fmt.Printf("ULE way geometry: %d data words x %d bits, %d tag words x %d bits\n",
-		g.DataWords(), g.DataBits, g.TagWords(), g.TagBits)
-	tb := stats.NewTable("Pf", "Y plain (tol 0)", "Y SECDED (tol 1)", "Y DECTED (tol 1)")
-	for _, pf := range []float64{1e-6, 1e-5, 1e-4, 1e-3} {
-		tb.AddRow(fmt.Sprintf("%.0e", pf),
-			fmt.Sprintf("%.5f", yield.WaySurvival(pf, g, 0, 0, 0)),
-			fmt.Sprintf("%.5f", yield.WaySurvival(pf, g, 7, 7, 1)),
-			fmt.Sprintf("%.5f", yield.WaySurvival(pf, g, 13, 13, 1)))
-	}
-	fmt.Print(tb.String())
-	fmt.Printf("\nRequiredPf(99%%, 8192 bits) = %.4g  [paper: 1.22e-6]\n",
-		yield.RequiredPfBits(0.99, 8192))
-	return nil
-}
-
-func printBars(title string, pairs []core.Pair) {
-	fmt.Printf("%s  (D=L1 dynamic, L=L1 leakage, E=EDC, C=core; bar scale = baseline total)\n", title)
-	for _, p := range pairs {
-		nb := p.NormalizedBase()
-		np := p.NormalizedProp()
-		fmt.Println(stats.StackedBar(p.Workload+" base", []stats.Segment{
-			{Rune: 'D', Value: nb.CacheDynamic}, {Rune: 'L', Value: nb.CacheLeakage},
-			{Rune: 'E', Value: nb.EDC}, {Rune: 'C', Value: nb.Core}}, 1.0, 50))
-		fmt.Println(stats.StackedBar(p.Workload+" prop", []stats.Segment{
-			{Rune: 'D', Value: np.CacheDynamic}, {Rune: 'L', Value: np.CacheLeakage},
-			{Rune: 'E', Value: np.EDC}, {Rune: 'C', Value: np.Core}}, 1.0, 50))
-	}
-}
-
-// runFig3 regenerates Figure 3 (experiment E1).
-func runFig3() error {
-	header("E1: Fig. 3 — normalized average EPI at HP mode (BigBench)")
-	for _, s := range []yield.Scenario{yield.ScenarioA, yield.ScenarioB} {
-		pairs, err := core.RunPairs(s, core.ModeHP, suite(core.ModeHP))
-		if err != nil {
-			return err
-		}
-		sum := core.Summarize(s, core.ModeHP, pairs)
-		avg := core.Pair{Workload: "average", Base: core.Report{EPI: sum.AvgBase}, Prop: core.Report{EPI: sum.AvgProp}}
-		printBars(fmt.Sprintf("Scenario %v", s), []core.Pair{avg})
-		fmt.Printf("  average EPI saving: %.1f%%   [paper: %s]\n\n", sum.AvgSavingPct,
-			map[yield.Scenario]string{yield.ScenarioA: "14%", yield.ScenarioB: "12%"}[s])
-	}
-	return nil
-}
-
-// runFig4 regenerates Figure 4 (experiment E2).
-func runFig4() error {
-	header("E2: Fig. 4 — normalized EPI breakdowns at ULE mode (SmallBench)")
-	for _, s := range []yield.Scenario{yield.ScenarioA, yield.ScenarioB} {
-		pairs, err := core.RunPairs(s, core.ModeULE, suite(core.ModeULE))
-		if err != nil {
-			return err
-		}
-		sum := core.Summarize(s, core.ModeULE, pairs)
-		printBars(fmt.Sprintf("Scenario %v", s), pairs)
-		fmt.Printf("  average EPI saving: %.1f%%   [paper: %s]\n",
-			sum.AvgSavingPct,
-			map[yield.Scenario]string{yield.ScenarioA: "42%", yield.ScenarioB: "39%"}[s])
-		fmt.Printf("  average execution-time increase: %.2f%%   [paper: ~3%%]\n\n", sum.AvgTimeIncreasePct)
-	}
-	return nil
-}
-
-// runHeadline prints the paper-vs-measured summary (experiment E3).
-func runHeadline() error {
-	header("E3: headline numbers (Section IV-B)")
-	tb := stats.NewTable("scenario", "mode", "EPI saving (measured)", "EPI saving (paper)", "time increase (measured)", "time increase (paper)")
-	paper := map[yield.Scenario]map[core.Mode]string{
-		yield.ScenarioA: {core.ModeHP: "14%", core.ModeULE: "42%"},
-		yield.ScenarioB: {core.ModeHP: "12%", core.ModeULE: "39%"},
-	}
-	for _, s := range []yield.Scenario{yield.ScenarioA, yield.ScenarioB} {
-		for _, m := range []core.Mode{core.ModeHP, core.ModeULE} {
-			pairs, err := core.RunPairs(s, m, suite(m))
-			if err != nil {
-				return err
-			}
-			sum := core.Summarize(s, m, pairs)
-			wantTime := "0%"
-			if m == core.ModeULE {
-				wantTime = "~3%"
-			}
-			tb.AddRow(s.String(), m.String(),
-				fmt.Sprintf("%.1f%%", sum.AvgSavingPct), paper[s][m],
-				fmt.Sprintf("%.2f%%", sum.AvgTimeIncreasePct), wantTime)
-		}
-	}
-	fmt.Print(tb.String())
-	return nil
-}
-
-// runArea prints the area comparison (experiment E5).
-func runArea() error {
-	header("E5: area (Section IV-B; min-size 6T bitcell equivalents per cache)")
-	for _, s := range []yield.Scenario{yield.ScenarioA, yield.ScenarioB} {
-		base := core.MustNewSystem(core.PaperConfig(s, core.Baseline)).Area()
-		prop := core.MustNewSystem(core.PaperConfig(s, core.Proposed)).Area()
-		tb := stats.NewTable("design", "HP ways", "ULE way", "codecs", "total", "vs baseline")
-		tb.AddRow("baseline", f0(base.HPWays), f0(base.ULEWays), f0(base.Codecs), f0(base.Total()), "-")
-		tb.AddRow("proposed", f0(prop.HPWays), f0(prop.ULEWays), f0(prop.Codecs), f0(prop.Total()),
-			stats.Pct(prop.Total()/base.Total()-1))
-		fmt.Printf("Scenario %v:\n%s", s, tb.String())
-		fmt.Printf("  ULE way incl. codecs: baseline %.0f vs proposed %.0f (%s)\n\n",
-			base.ULEWays+base.Codecs, prop.ULEWays+prop.Codecs,
-			stats.Pct((prop.ULEWays+prop.Codecs)/(base.ULEWays+base.Codecs)-1))
-	}
-	return nil
-}
-
-// runReliability runs the Monte-Carlo yield-equivalence campaign (E7).
-func runReliability() error {
-	header("E7: reliability equivalence (Monte-Carlo fault campaigns)")
-	const trials = 2000
-	for _, s := range []yield.Scenario{yield.ScenarioA, yield.ScenarioB} {
-		res, err := yield.Run(yield.PaperInput(s))
-		if err != nil {
-			return err
-		}
-		bCheck := s.BaselineCode().CheckBits()
-		pCheck := s.ProposedCode().CheckBits()
-		gb := faults.WayGeometry{Lines: 32, WordsPerLine: 8, DataWordBits: 32 + bCheck, TagWordBits: 26 + bCheck}
-		gp := faults.WayGeometry{Lines: 32, WordsPerLine: 8, DataWordBits: 32 + pCheck, TagWordBits: 26 + pCheck}
-		usableB, usableP := 0, 0
-		for i := int64(0); i < trials; i++ {
-			mb, err := faults.Generate(gb, res.BaselinePf, rand.New(rand.NewSource(100000+i)))
-			if err != nil {
-				return err
-			}
-			if mb.Usable(0) {
-				usableB++
-			}
-			mp, err := faults.Generate(gp, res.ProposedPf, rand.New(rand.NewSource(200000+i)))
-			if err != nil {
-				return err
-			}
-			if mp.Usable(1) {
-				usableP++
-			}
-		}
-		fmt.Printf("Scenario %v (%d silicon samples per design):\n", s, trials)
-		tb := stats.NewTable("design", "MC yield", "analytic yield (Eq. 2)")
-		tb.AddRow("baseline  (10T, 0 tolerable faults/word)",
-			fmt.Sprintf("%.4f", float64(usableB)/trials), fmt.Sprintf("%.4f", res.BaselineYield))
-		tb.AddRow(fmt.Sprintf("proposed  (8T+%v, 1 tolerable fault/word)", s.ProposedCode()),
-			fmt.Sprintf("%.4f", float64(usableP)/trials), fmt.Sprintf("%.4f", res.ProposedYield))
-		fmt.Print(tb.String())
-		fmt.Println()
-	}
-	return nil
-}
-
-// runWCET runs experiment E8: the predictability argument of Sections
-// I–II made quantitative. The paper rejects fault-disabling schemes
-// ([21], [1], [7]) because disabled entries are die-dependent, so a WCET
-// bound must assume worst-case fault placement; the EDC design instead
-// pays a small deterministic latency. Analysed on the ULE-mode cache (32
-// sets × 1 way) with a cache-fitting critical loop.
-func runWCET() error {
-	header("E8: WCET predictability — EDC vs faulty-entry disabling")
-	body := make([]wcet.Access, 8)
-	for i := range body {
-		body[i] = wcet.Access{Line: uint32(i)}
-	}
-	loop := wcet.Loop{Name: "critical-kernel", Body: body, Iterations: 1000, NonMemCycles: 24}
-	spec := wcet.CacheSpec{Sets: 32, Ways: 1, HitLatency: 1, MissLatency: 20}
-
-	base, err := wcet.Analyze(spec, loop)
-	if err != nil {
-		return err
-	}
-	edcSpec := spec
-	edcSpec.HitLatency = 2
-	edc, err := wcet.Analyze(edcSpec, loop)
-	if err != nil {
-		return err
-	}
-	curve, err := wcet.InflationCurve(spec, loop, 8)
-	if err != nil {
+// run is the testable driver body.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		runSel       = fs.String("run", "all", "experiments to run: comma-separated names, unique prefixes, or \"all\"")
+		workers      = fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+		format       = fs.String("format", "text", "output format: text, json or csv")
+		seed         = fs.Int64("seed", 0, "master seed for every Monte-Carlo campaign")
+		instructions = fs.Int("instructions", 300_000, "dynamic instructions per benchmark run")
+		trials       = fs.Int("trials", 2000, "silicon samples per reliability campaign")
+		list         = fs.Bool("list", false, "list registered experiments and exit")
+	)
+	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
 
-	fmt.Printf("critical loop: %d refs/iteration, %d iterations, ULE-mode cache 32x1\n\n",
-		len(body), loop.Iterations)
-	tb := stats.NewTable("design", "WCET bound (cycles)", "vs fault-free", "die-dependent?")
-	tb.AddRow("fault-free (10T baseline / 8T+EDC data)", fmt.Sprint(base.WCETCycles), "-", "no")
-	tb.AddRow("proposed: +1 EDC cycle", fmt.Sprint(edc.WCETCycles),
-		stats.Pct(float64(edc.WCETCycles)/float64(base.WCETCycles)-1), "no")
-	for _, f := range []int{1, 2, 4, 7} {
-		w := uint64(float64(base.WCETCycles) * curve[f])
-		tb.AddRow(fmt.Sprintf("disabling, %d worst-case faulty lines", f),
-			fmt.Sprint(w), stats.Pct(curve[f]-1), "YES")
+	reg := sim.NewRegistry()
+	experiments.RegisterAll(reg, experiments.Options{
+		Instructions: *instructions,
+		Trials:       *trials,
+		Workers:      *workers,
+	})
+
+	if *list {
+		tb := stats.NewTable("name", "grid", "description")
+		for _, name := range reg.Names() {
+			e, _ := reg.Get(name)
+			tb.AddRow(name, fmt.Sprint(len(e.Grid())), e.Description())
+		}
+		fmt.Fprint(stdout, tb.String())
+		return nil
 	}
-	fmt.Print(tb.String())
-	fmt.Println("\n(the EDC bound conservatively charges every access the extra cycle — the measured")
-	fmt.Println(" average slowdown is only ~3% — and it is deterministic across dies; 7 faulty lines")
-	fmt.Println(" ≈ the expected fault count of a plain min-size 8T way at 350 mV, and the disabling")
-	fmt.Println(" bound both explodes and varies per die — the paper's reason to reject entry")
-	fmt.Println(" disabling for critical applications)")
-	return nil
+
+	names, err := reg.Resolve(*runSel)
+	if err != nil {
+		return err
+	}
+	sink, err := sim.NewSink(*format, stdout)
+	if err != nil {
+		return err
+	}
+	runner := sim.Runner{Workers: *workers, Seed: *seed}
+	results, err := runner.RunAll(reg, names)
+	if err != nil {
+		return err
+	}
+	return sink.Write(results)
 }
-
-// runSER is experiment E9: the soft-error side of scenario B's
-// "same reliability levels" claim. The proposed 8T+DECTED way has words
-// whose correction budget is partly consumed by a hard fault; the DUE
-// (detected-uncorrectable) rate under a Poisson soft-error process with
-// periodic scrubbing must not regress the 10T+SECDED baseline's.
-func runSER() error {
-	header("E9: soft-error MTTF at ULE mode, scenario B (DECTED vs SECDED)")
-	res, err := yield.Run(yield.PaperInput(yield.ScenarioB))
-	if err != nil {
-		return err
-	}
-	// Expected hard-faulty words of the sized 8T way: words × P(word
-	// has ≥1 fault) ≈ words · n · Pf.
-	const words = 256 + 32
-	expFaulty := int(math.Round(words * 45 * res.ProposedPf))
-	const lambda = 1e-13 // soft errors / bit / second (SER-class magnitude)
-	fmt.Printf("sized 8T Pf = %.3g -> expected hard-faulty words per way: %d of %d\n\n",
-		res.ProposedPf, expFaulty, words)
-	tb := stats.NewTable("scrub interval", "baseline 10T+SECDED MTTF", "proposed 8T+DECTED MTTF")
-	for _, scrub := range []float64{60, 3600, 86400} {
-		base := []faults.WordClass{{Count: words, Bits: 39, TolerableSoft: 1}}
-		prop := []faults.WordClass{
-			{Count: words - expFaulty, Bits: 45, TolerableSoft: 2},
-			{Count: expFaulty, Bits: 45, TolerableSoft: 1},
-		}
-		rb, err := faults.DUERate(base, lambda, scrub)
-		if err != nil {
-			return err
-		}
-		rp, err := faults.DUERate(prop, lambda, scrub)
-		if err != nil {
-			return err
-		}
-		tb.AddRow(fmt.Sprintf("%.0fs", scrub),
-			fmt.Sprintf("%.2e years", faults.MTTFYears(rb)),
-			fmt.Sprintf("%.2e years", faults.MTTFYears(rp)))
-	}
-	fmt.Print(tb.String())
-	fmt.Println("\n(the DECTED design's clean words survive two accumulated soft errors vs the")
-	fmt.Println(" baseline's one, which more than covers the few words whose budget a hard fault")
-	fmt.Println(" consumes — the proposed design does not regress soft-error reliability)")
-	return nil
-}
-
-// runAblations runs A1 (way split), A2 (memory latency), A3 (EDC
-// granularity), A4 (interleaving vs multi-bit upsets), A5 (ULE-way
-// reuse at HP) and A6 (subarray partitioning).
-func runAblations() error {
-	header("A1: way-split ablation (7+1 vs 6+2, Section IV-A)")
-	w, err := bench.ByName("adpcm_c")
-	if err != nil {
-		return err
-	}
-	w = w.ScaledTo(*instructions)
-	tb := stats.NewTable("split", "mode", "baseline EPI", "proposed EPI", "saving")
-	for _, ule := range []int{1, 2} {
-		for _, m := range []core.Mode{core.ModeHP, core.ModeULE} {
-			cb := core.PaperConfig(yield.ScenarioA, core.Baseline)
-			cb.ULEWays = ule
-			cp := core.PaperConfig(yield.ScenarioA, core.Proposed)
-			cp.ULEWays = ule
-			rb, err := core.MustNewSystem(cb).Run(w, m)
-			if err != nil {
-				return err
-			}
-			rp, err := core.MustNewSystem(cp).Run(w, m)
-			if err != nil {
-				return err
-			}
-			tb.AddRow(fmt.Sprintf("%d+%d", 8-ule, ule), m.String(),
-				f2(rb.EPI.Total()), f2(rp.EPI.Total()),
-				stats.Pct(1-rp.EPI.Total()/rb.EPI.Total()))
-		}
-	}
-	fmt.Print(tb.String())
-
-	header("A2: memory-latency ablation (paper: trends unchanged)")
-	g, err := bench.ByName("gsm_c")
-	if err != nil {
-		return err
-	}
-	g = g.ScaledTo(*instructions)
-	tb2 := stats.NewTable("mem latency", "HP saving", "ULE saving")
-	for _, lat := range []int{10, 20, 40, 80} {
-		row := []string{fmt.Sprint(lat)}
-		for _, m := range []core.Mode{core.ModeHP, core.ModeULE} {
-			cb := core.PaperConfig(yield.ScenarioA, core.Baseline)
-			cb.MemLatency = lat
-			cp := core.PaperConfig(yield.ScenarioA, core.Proposed)
-			cp.MemLatency = lat
-			wl := g
-			if m == core.ModeULE {
-				wl, _ = bench.ByName("adpcm_c")
-				wl = wl.ScaledTo(*instructions)
-			}
-			rb, err := core.MustNewSystem(cb).Run(wl, m)
-			if err != nil {
-				return err
-			}
-			rp, err := core.MustNewSystem(cp).Run(wl, m)
-			if err != nil {
-				return err
-			}
-			row = append(row, stats.Pct(1-rp.EPI.Total()/rb.EPI.Total()))
-		}
-		tb2.AddRow(row...)
-	}
-	fmt.Print(tb2.String())
-
-	header("A3: EDC word-granularity ablation (check-bit overhead vs yield)")
-	tb3 := stats.NewTable("granularity", "code", "check bits/word", "storage overhead", "way yield @ Pf=1.5e-4")
-	for _, bitsPerWord := range []int{8, 16, 32} {
-		codec, err := ecc.NewSECDEDMinimal(bitsPerWord)
-		if err != nil {
-			return err
-		}
-		words := 8192 / bitsPerWord
-		gy := yield.WayGeometry{Lines: 32, WordsPerLine: words / 32, DataBits: bitsPerWord, TagBits: 26}
-		y := yield.WaySurvival(1.5e-4, gy, codec.CheckBits(), 7, 1)
-		overhead := float64(codec.CheckBits()) / float64(bitsPerWord)
-		tb3.AddRow(fmt.Sprintf("%d-bit words", bitsPerWord), codec.Name(),
-			fmt.Sprint(codec.CheckBits()), stats.Pct(overhead), fmt.Sprintf("%.5f", y))
-	}
-	fmt.Print(tb3.String())
-	fmt.Println("\n(finer words: more overhead, higher yield; the paper's 32-bit choice balances both)")
-
-	header("A4: bit interleaving vs multi-bit upsets (extension)")
-	// At smaller nodes a single particle strike flips physically
-	// adjacent cells. Compare plain SECDED(39,32) with a 4-way
-	// interleaved SECDED over the same 32-bit word on bursts of
-	// adjacent flips.
-	plain, err := ecc.NewSECDED(32)
-	if err != nil {
-		return err
-	}
-	inter, err := ecc.NewInterleaved(ecc.KindSECDED, 8, 4)
-	if err != nil {
-		return err
-	}
-	tb4 := stats.NewTable("burst length", "plain SECDED(39,32)", "4x-interleaved SECDED", "interleaved check bits")
-	for burst := 1; burst <= 4; burst++ {
-		tb4.AddRow(fmt.Sprint(burst),
-			burstOutcome(plain, burst), burstOutcome(inter, burst),
-			fmt.Sprint(inter.CheckBits()))
-	}
-	fmt.Print(tb4.String())
-	fmt.Println("\n(interleaving buys burst correction at 4x the check-bit overhead — the natural")
-	fmt.Println(" extension of the architecture for MBU-prone deep-scaled nodes)")
-
-	header("A5: reuse ULE ways at HP mode (Section III-A claim)")
-	// "ULE ways are reused at HP mode, in spite of their inefficiency
-	// at high Vcc, because they reduce the number of slow and
-	// energy-hungry memory accesses."
-	gw, err := bench.ByName("mpeg2_c") // needs more than the 7 KB of HP ways
-	if err != nil {
-		return err
-	}
-	gw = gw.ScaledTo(*instructions)
-	// The paper excludes memory energy from its results but justifies the
-	// reuse policy by the cost of memory accesses; this estimate makes
-	// the trade visible (a highly-integrated few-MB memory at ~300 pJ
-	// per access).
-	const memAccessPJ = 300.0
-	tb5 := stats.NewTable("policy", "DL1 miss rate", "exec time (ms)", "chip EPI (pJ)", "+est. memory EPI")
-	for _, gate := range []bool{false, true} {
-		cfg := core.PaperConfig(yield.ScenarioA, core.Proposed)
-		cfg.GateULEWaysAtHP = gate
-		rep, err := core.MustNewSystem(cfg).Run(gw, core.ModeHP)
-		if err != nil {
-			return err
-		}
-		name := "reuse ULE way (paper design)"
-		if gate {
-			name = "gate ULE way off at HP"
-		}
-		memEPI := memAccessPJ * float64(rep.Stats.DMisses+rep.Stats.IMisses) / float64(rep.Stats.Instructions)
-		tb5.AddRow(name,
-			fmt.Sprintf("%.3f%%", 100*float64(rep.Stats.DMisses)/float64(rep.Stats.DAccesses)),
-			fmt.Sprintf("%.3f", rep.TimeNS/1e6),
-			f2(rep.EPI.Total()),
-			f2(rep.EPI.Total()+memEPI))
-	}
-	fmt.Print(tb5.String())
-	fmt.Println("\n(gating the ULE way shrinks the HP-mode cache to 7 KB: more misses, a slower")
-	fmt.Println(" reaction to the event burst, and — once memory accesses are priced in — more")
-	fmt.Println(" total energy: the paper's reason to reuse the ULE ways at HP mode)")
-
-	header("A6: CACTI-style subarray partitioning of the ULE way (model exploration)")
-	sys := core.MustNewSystem(core.PaperConfig(yield.ScenarioA, core.Proposed))
-	evals, best, err := energy.ExplorePartitions(sys.ULEWayArray(), 0.35, 39, 33, 16)
-	if err != nil {
-		return err
-	}
-	tb6 := stats.NewTable("partition (Ndwl x Ndbl)", "access energy (pJ)", "area", "leak (pJ/ns)", "")
-	for i, ev := range evals {
-		mark := ""
-		if i == best {
-			mark = "<- min energy"
-		}
-		tb6.AddRow(fmt.Sprintf("%dx%d", ev.Part.Ndwl, ev.Part.Ndbl),
-			fmt.Sprintf("%.4f", ev.Energy), f0(ev.Area), fmt.Sprintf("%.5f", ev.Leak), mark)
-	}
-	fmt.Print(tb6.String())
-	fmt.Println("\n(the flat model used by the main experiments is the 1x1 point; partitioning")
-	fmt.Println(" shifts absolute energies but applies to baseline and proposed ways alike, so")
-	fmt.Println(" the normalized comparisons of Figs. 3-4 are insensitive to it)")
-
-	_ = bitcell.Vnom
-	return nil
-}
-
-// burstOutcome classifies how a codec handles every adjacent burst of
-// the given length across one codeword.
-func burstOutcome(c ecc.Codec, burst int) string {
-	data := uint64(0xA5A5A5A5) & ecc.DataMask(c)
-	cw := c.Encode(data)
-	n := ecc.TotalBits(c)
-	corrected, detected, silent := 0, 0, 0
-	for start := 0; start+burst <= n; start++ {
-		corrupted := cw
-		for b := 0; b < burst; b++ {
-			corrupted ^= 1 << uint(start+b)
-		}
-		got, res := c.Decode(corrupted)
-		switch {
-		case res.Status == ecc.Detected:
-			detected++
-		case got == data:
-			corrected++
-		default:
-			silent++
-		}
-	}
-	total := n - burst + 1
-	switch {
-	case corrected == total:
-		return "corrected (all)"
-	case silent > 0:
-		return fmt.Sprintf("UNSAFE: %d silent", silent)
-	default:
-		return fmt.Sprintf("%d corrected / %d detected", corrected, detected)
-	}
-}
-
-func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
-func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListExperiments(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"sizing", "fig3", "headline", "reliability", "a6-partition", "mc-sampling"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list missing %q", name)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-run", "yield", "-format", "json"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"experiment": "yield"`) {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestRunWithTinyGridAndWorkers(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-run", "headline,area", "-instructions", "2000", "-workers", "4", "-format", "csv"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "headline,scenario=A mode=HP") {
+		t.Fatalf("CSV output missing headline rows:\n%s", out.String())
+	}
+}
+
+func TestDeterministicOutputAcrossWorkers(t *testing.T) {
+	outputs := make([]string, 0, 2)
+	for _, workers := range []string{"1", "8"} {
+		var out bytes.Buffer
+		err := run([]string{"-run", "reliability,mc-sampling", "-trials", "100",
+			"-workers", workers, "-seed", "5", "-format", "json"}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, out.String())
+	}
+	if outputs[0] != outputs[1] {
+		t.Fatal("-workers 1 and -workers 8 output differ")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-run", "nonsense"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

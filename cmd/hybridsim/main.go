@@ -1,40 +1,52 @@
 // Command hybridsim runs one workload on one hybrid-cache configuration
-// in one operating mode and prints timing, cache behaviour and the EPI
-// breakdown.
+// in one operating mode through the experiment engine and prints
+// timing, cache behaviour and the EPI breakdown.
 //
 // Usage:
 //
 //	hybridsim [-scenario A|B] [-design baseline|proposed] [-mode HP|ULE]
 //	          [-workload adpcm_c] [-instructions N] [-compare]
+//	          [-format text|json|csv]
 //
-// With -compare the tool runs both designs and prints the delta.
+// With -compare the tool runs both designs (in parallel) and prints the
+// delta.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
+	"io"
 
 	"edcache/internal/bench"
+	"edcache/internal/cli"
 	"edcache/internal/core"
+	"edcache/internal/experiments"
+	"edcache/internal/sim"
 	"edcache/internal/stats"
-	"edcache/internal/trace"
 	"edcache/internal/yield"
 )
 
-var (
-	scenarioFlag = flag.String("scenario", "A", "reliability scenario: A or B")
-	designFlag   = flag.String("design", "proposed", "cache design: baseline or proposed")
-	modeFlag     = flag.String("mode", "ULE", "operating mode: HP or ULE")
-	workload     = flag.String("workload", "adpcm_c", "benchmark name (see -list)")
-	traceFile    = flag.String("trace", "", "replay a binary trace file (from cmd/tracegen) instead of a generated workload")
-	instructions = flag.Int("instructions", 300_000, "dynamic instruction count")
-	compare      = flag.Bool("compare", false, "run both designs and print the comparison")
-	list         = flag.Bool("list", false, "list available workloads and exit")
-)
-
 func main() {
-	flag.Parse()
+	cli.Main("hybridsim", run, nil)
+}
+
+// run is the testable driver body.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("hybridsim", flag.ContinueOnError)
+	var (
+		scenarioFlag = fs.String("scenario", "A", "reliability scenario: A or B")
+		designFlag   = fs.String("design", "proposed", "cache design: baseline or proposed")
+		modeFlag     = fs.String("mode", "ULE", "operating mode: HP or ULE")
+		workload     = fs.String("workload", "adpcm_c", "benchmark name (see -list)")
+		traceFile    = fs.String("trace", "", "replay a binary trace file (from cmd/tracegen) instead of a generated workload")
+		instructions = fs.Int("instructions", 300_000, "dynamic instruction count")
+		compare      = fs.Bool("compare", false, "run both designs and print the comparison")
+		list         = fs.Bool("list", false, "list available workloads and exit")
+		format       = fs.String("format", "text", "output format: text, json or csv")
+	)
+	if err := cli.Parse(fs, args); err != nil {
+		return err
+	}
 	if *list {
 		tb := stats.NewTable("name", "suite", "code", "data", "mode duty")
 		for _, w := range bench.All() {
@@ -44,65 +56,10 @@ func main() {
 			}
 			tb.AddRow(w.Name, w.Suite.String(), fmt.Sprintf("%dB", w.CodeBytes), fmt.Sprintf("%dB", w.DataBytes), duty)
 		}
-		fmt.Print(tb.String())
-		return
+		fmt.Fprint(stdout, tb.String())
+		return nil
 	}
 
-	scenario, mode, err := parseFlags()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "hybridsim: %v\n", err)
-		os.Exit(1)
-	}
-
-	if *compare {
-		rb := runOne(scenario, core.Baseline, mode)
-		fmt.Println()
-		rp := runOne(scenario, core.Proposed, mode)
-		fmt.Printf("\nproposed vs baseline: EPI %s, execution time %s\n",
-			stats.Pct(rp.EPI.Total()/rb.EPI.Total()-1), stats.Pct(rp.TimeNS/rb.TimeNS-1))
-		return
-	}
-
-	design := core.Proposed
-	if *designFlag == "baseline" {
-		design = core.Baseline
-	} else if *designFlag != "proposed" {
-		fmt.Fprintf(os.Stderr, "hybridsim: unknown design %q\n", *designFlag)
-		os.Exit(1)
-	}
-	runOne(scenario, design, mode)
-}
-
-// runStream executes either the named workload generator or, when
-// -trace is given, a serialised trace file.
-func runStream(sys *core.System, m core.Mode) (core.Report, error) {
-	if *traceFile != "" {
-		f, err := os.Open(*traceFile)
-		if err != nil {
-			return core.Report{}, err
-		}
-		defer f.Close()
-		r, err := trace.NewReader(f)
-		if err != nil {
-			return core.Report{}, err
-		}
-		rep, err := sys.RunStream(*traceFile, r, m)
-		if err != nil {
-			return core.Report{}, err
-		}
-		if r.Err() != nil {
-			return core.Report{}, r.Err()
-		}
-		return rep, nil
-	}
-	w, err := bench.ByName(*workload)
-	if err != nil {
-		return core.Report{}, fmt.Errorf("%v (use -list)", err)
-	}
-	return sys.Run(w.ScaledTo(*instructions), m)
-}
-
-func parseFlags() (yield.Scenario, core.Mode, error) {
 	var s yield.Scenario
 	switch *scenarioFlag {
 	case "A", "a":
@@ -110,7 +67,7 @@ func parseFlags() (yield.Scenario, core.Mode, error) {
 	case "B", "b":
 		s = yield.ScenarioB
 	default:
-		return 0, 0, fmt.Errorf("unknown scenario %q", *scenarioFlag)
+		return fmt.Errorf("unknown scenario %q", *scenarioFlag)
 	}
 	var m core.Mode
 	switch *modeFlag {
@@ -119,40 +76,35 @@ func parseFlags() (yield.Scenario, core.Mode, error) {
 	case "ULE", "ule":
 		m = core.ModeULE
 	default:
-		return 0, 0, fmt.Errorf("unknown mode %q", *modeFlag)
+		return fmt.Errorf("unknown mode %q", *modeFlag)
 	}
-	return s, m, nil
-}
+	designs := []core.Design{core.Baseline, core.Proposed}
+	if !*compare {
+		switch *designFlag {
+		case "baseline":
+			designs = []core.Design{core.Baseline}
+		case "proposed":
+			designs = []core.Design{core.Proposed}
+		default:
+			return fmt.Errorf("unknown design %q", *designFlag)
+		}
+	}
 
-func runOne(s yield.Scenario, d core.Design, m core.Mode) core.Report {
-	sys, err := core.NewSystem(core.PaperConfig(s, d))
+	exp := experiments.NewHybridRun(experiments.HybridSpec{
+		Scenario:     s,
+		Mode:         m,
+		Designs:      designs,
+		Workload:     *workload,
+		TraceFile:    *traceFile,
+		Instructions: *instructions,
+	})
+	results, err := sim.Runner{}.Run(exp)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "hybridsim: %v\n", err)
-		os.Exit(1)
+		return err
 	}
-	r, err := runStream(sys, m)
+	sink, err := sim.NewSink(*format, stdout)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "hybridsim: %v\n", err)
-		os.Exit(1)
+		return err
 	}
-	siz := sys.Sizing()
-	fmt.Printf("configuration %s at %v mode (%.2f V, %.0f MHz), workload %s (%d instructions)\n",
-		sys.Config().Name(), m, sys.Config().Vcc(m), sys.Config().FreqGHz(m)*1000, r.Workload, r.Stats.Instructions)
-	fmt.Printf("  cells: HP ways %v | ULE way %v\n", siz.HPCell, sys.ULEWayArray().Cell)
-	fmt.Printf("  cycles %d (CPI %.3f), time %.1f us, load-use stalls %d\n",
-		r.Stats.Cycles, r.Stats.CPI(), r.TimeNS/1000, r.Stats.LoadUseStalls)
-	fmt.Printf("  IL1 miss %.3f%%  DL1 miss %.3f%%\n",
-		100*float64(r.Stats.IMisses)/float64(r.Stats.IAccesses),
-		100*float64(r.Stats.DMisses)/float64(r.Stats.DAccesses))
-	tb := stats.NewTable("EPI component", "pJ/instr", "share")
-	tot := r.EPI.Total()
-	tb.AddRow("L1 dynamic", f3(r.EPI.CacheDynamic), stats.Pct(r.EPI.CacheDynamic/tot))
-	tb.AddRow("L1 leakage", f3(r.EPI.CacheLeakage), stats.Pct(r.EPI.CacheLeakage/tot))
-	tb.AddRow("EDC codecs", f3(r.EPI.EDC), stats.Pct(r.EPI.EDC/tot))
-	tb.AddRow("core/other", f3(r.EPI.Core), stats.Pct(r.EPI.Core/tot))
-	tb.AddRow("total", f3(tot), "100.0%")
-	fmt.Print(tb.String())
-	return r
+	return sink.Write(results)
 }
-
-func f3(v float64) string { return fmt.Sprintf("%.3f", v) }

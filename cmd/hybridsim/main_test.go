@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestHybridsimSingleRun(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-workload", "adpcm_c", "-instructions", "3000"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"configuration A/proposed at ULE mode", "EPI component", "L1 leakage"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestHybridsimCompare(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-compare", "-instructions", "3000", "-scenario", "B", "-mode", "HP", "-workload", "gsm_c"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "proposed vs baseline") {
+		t.Fatalf("compare output missing delta row:\n%s", out.String())
+	}
+}
+
+func TestHybridsimList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "mpeg2_d") {
+		t.Fatalf("-list missing workloads:\n%s", out.String())
+	}
+}
+
+func TestHybridsimBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-scenario", "Z"},
+		{"-mode", "turbo"},
+		{"-design", "imaginary"},
+		{"-workload", "nope", "-instructions", "1000"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

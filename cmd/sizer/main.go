@@ -1,33 +1,43 @@
-// Command sizer runs the design methodology of Section III-C / Fig. 2 for
-// a configurable operating point and prints the sizing walkthrough: the
-// required fault-free Pf, the 6T/10T/8T cell sizes, yields, and every
-// iteration of the 8T+EDC loop.
+// Command sizer runs the design methodology of Section III-C / Fig. 2
+// for a configurable operating point through the experiment engine and
+// prints the sizing walkthrough: the required fault-free Pf, the
+// 6T/10T/8T cell sizes, yields, and every iteration of the 8T+EDC loop.
 //
 // Usage:
 //
-//	sizer [-scenario A|B] [-vcc-ule mV] [-yield Y] [-lines N] [-words-per-line N]
+//	sizer [-scenario A|B] [-vcc-ule mV] [-yield Y] [-lines N]
+//	      [-words-per-line N] [-format text|json|csv]
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
+	"io"
 
-	"edcache/internal/bitcell"
-	"edcache/internal/stats"
+	"edcache/internal/cli"
+	"edcache/internal/experiments"
+	"edcache/internal/sim"
 	"edcache/internal/yield"
 )
 
-var (
-	scenarioFlag = flag.String("scenario", "A", "reliability scenario: A (no baseline coding) or B (SECDED baseline)")
-	vccULE       = flag.Float64("vcc-ule", 350, "ULE-mode supply voltage in millivolts")
-	targetYield  = flag.Float64("yield", 0.99, "target cache yield")
-	lines        = flag.Int("lines", 32, "lines per ULE way")
-	wordsPerLine = flag.Int("words-per-line", 8, "32-bit data words per line")
-)
-
 func main() {
-	flag.Parse()
+	cli.Main("sizer", run, nil)
+}
+
+// run is the testable driver body.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("sizer", flag.ContinueOnError)
+	var (
+		scenarioFlag = fs.String("scenario", "A", "reliability scenario: A (no baseline coding) or B (SECDED baseline)")
+		vccULE       = fs.Float64("vcc-ule", 350, "ULE-mode supply voltage in millivolts")
+		targetYield  = fs.Float64("yield", 0.99, "target cache yield")
+		lines        = fs.Int("lines", 32, "lines per ULE way")
+		wordsPerLine = fs.Int("words-per-line", 8, "32-bit data words per line")
+		format       = fs.String("format", "text", "output format: text, json or csv")
+	)
+	if err := cli.Parse(fs, args); err != nil {
+		return err
+	}
 	var s yield.Scenario
 	switch *scenarioFlag {
 	case "A", "a":
@@ -35,55 +45,22 @@ func main() {
 	case "B", "b":
 		s = yield.ScenarioB
 	default:
-		fmt.Fprintf(os.Stderr, "sizer: unknown scenario %q\n", *scenarioFlag)
-		os.Exit(1)
+		return fmt.Errorf("unknown scenario %q", *scenarioFlag)
 	}
-	in := yield.Input{
+	exp := experiments.NewSizing(yield.Input{
 		Scenario:    s,
 		Way:         yield.WayGeometry{Lines: *lines, WordsPerLine: *wordsPerLine, DataBits: 32, TagBits: 26},
 		VccHP:       1.0,
 		VccULE:      *vccULE / 1000,
 		TargetYield: *targetYield,
-	}
-	res, err := yield.Run(in)
+	})
+	results, err := sim.Runner{}.Run(exp)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sizer: %v\n", err)
-		os.Exit(1)
+		return err
 	}
-
-	fmt.Printf("Design methodology — scenario %v, ULE Vcc %.0f mV, target yield %.2f%%\n\n",
-		s, *vccULE, 100**targetYield)
-	fmt.Printf("Step 0: fault-free Pf requirement over %d data bits: %.4g\n",
-		in.Way.DataWords()*in.Way.DataBits, res.PfTarget)
-
-	fmt.Printf("\nHP ways: %v sized at 1 V -> %v (Pf %.3g)\n", bitcell.T6, res.HPCell, res.HPCellPf)
-	fmt.Printf("Baseline ULE way: %v sized at %.0f mV -> %v (Pf %.3g, yield %.5f)\n",
-		bitcell.T10, *vccULE, res.BaselineCell, res.BaselinePf, res.BaselineYield)
-	if res.UncodedFeasible {
-		fmt.Printf("NOTE: plain 8T could reach the fault-free target at this point — EDC not strictly required here.\n")
-	} else {
-		fmt.Printf("Plain (uncoded) 8T cannot reach Pf %.3g at any size (failure floor %.3g): EDC required.\n",
-			res.PfTarget, bitcell.MustNew(bitcell.T8, 1).FailureFloor(in.VccULE))
+	sink, err := sim.NewSink(*format, stdout)
+	if err != nil {
+		return err
 	}
-
-	fmt.Printf("\n8T+%v sizing loop (Fig. 2):\n", s.ProposedCode())
-	tb := stats.NewTable("iteration", "size", "Pf(8T)", "EDC-protected yield", "meets baseline")
-	for i, it := range res.Iterations {
-		tb.AddRow(fmt.Sprint(i+1), fmt.Sprintf("x%.2f", it.Size),
-			fmt.Sprintf("%.4g", it.Pf8T), fmt.Sprintf("%.5f", it.Yield), fmt.Sprint(it.Met))
-	}
-	fmt.Print(tb.String())
-	fmt.Printf("\nResult: %v with %v (Pf %.3g, yield %.5f ≥ baseline %.5f)\n",
-		res.ProposedCell, s.ProposedCode(), res.ProposedPf, res.ProposedYield, res.BaselineYield)
-
-	c8, c10 := res.ProposedCell, res.BaselineCell
-	overhead := float64(32+s.ProposedCode().CheckBits()) / 32
-	fmt.Printf("\nPer-data-bit comparison at the sized cells (incl. %.0f%% check-bit overhead):\n", 100*(overhead-1))
-	cmp := stats.NewTable("metric", "10T baseline", "8T+EDC proposed", "ratio")
-	cmp.AddRow("area", f3(c10.AreaRel()), f3(c8.AreaRel()*overhead), f3(c8.AreaRel()*overhead/c10.AreaRel()))
-	cmp.AddRow("dyn. capacitance", f3(c10.DynCapRel()), f3(c8.DynCapRel()*overhead), f3(c8.DynCapRel()*overhead/c10.DynCapRel()))
-	cmp.AddRow("leakage @ULE", f3(c10.LeakRel(in.VccULE)), f3(c8.LeakRel(in.VccULE)*overhead), f3(c8.LeakRel(in.VccULE)*overhead/c10.LeakRel(in.VccULE)))
-	fmt.Print(cmp.String())
+	return sink.Write(results)
 }
-
-func f3(v float64) string { return fmt.Sprintf("%.3f", v) }

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSizerWalkthrough(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "B", "-vcc-ule", "350"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"8T+DECTED sizing loop", "meets baseline", "Per-data-bit comparison"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestSizerJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-format", "json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"name": "proposed_yield"`) {
+		t.Fatalf("JSON output missing metrics:\n%s", out.String())
+	}
+}
+
+func TestSizerBadScenario(t *testing.T) {
+	if err := run([]string{"-scenario", "Z"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("bad scenario accepted")
+	}
+}

@@ -12,33 +12,39 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"edcache/internal/bench"
+	"edcache/internal/cli"
 	"edcache/internal/trace"
 )
 
-var (
-	workload     = flag.String("workload", "", "benchmark to generate (see hybridsim -list)")
-	instructions = flag.Int("instructions", 300_000, "dynamic instruction count")
-	out          = flag.String("o", "", "output trace file (default: <workload>.trace)")
-	verify       = flag.String("verify", "", "validate an existing trace file and print its stats")
-)
-
 func main() {
-	flag.Parse()
+	cli.Main("tracegen", run, nil)
+}
+
+// run is the testable driver body.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		workload     = fs.String("workload", "", "benchmark to generate (see hybridsim -list)")
+		instructions = fs.Int("instructions", 300_000, "dynamic instruction count")
+		out          = fs.String("o", "", "output trace file (default: <workload>.trace)")
+		verify       = fs.String("verify", "", "validate an existing trace file and print its stats")
+	)
+	if err := cli.Parse(fs, args); err != nil {
+		return err
+	}
 	if *verify != "" {
-		if err := verifyTrace(*verify); err != nil {
-			fail(err)
-		}
-		return
+		return verifyTrace(*verify, stdout)
 	}
 	if *workload == "" {
-		fail(fmt.Errorf("need -workload or -verify"))
+		return fmt.Errorf("need -workload or -verify")
 	}
 	w, err := bench.ByName(*workload)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	w = w.ScaledTo(*instructions)
 	path := *out
@@ -47,20 +53,21 @@ func main() {
 	}
 	f, err := os.Create(path)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	n, err := trace.Write(f, w.Stream())
 	if err != nil {
 		f.Close()
-		fail(err)
+		return err
 	}
 	if err := f.Close(); err != nil {
-		fail(err)
+		return err
 	}
-	fmt.Printf("wrote %d instructions of %s to %s\n", n, w.Name, path)
+	fmt.Fprintf(stdout, "wrote %d instructions of %s to %s\n", n, w.Name, path)
+	return nil
 }
 
-func verifyTrace(path string) error {
+func verifyTrace(path string, stdout io.Writer) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -89,7 +96,7 @@ func verifyTrace(path string) error {
 	if err := r.Err(); err != nil {
 		return err
 	}
-	fmt.Printf("%s: %d instructions (%.1f%% loads, %.1f%% stores, %.1f%% branches) — valid\n",
+	fmt.Fprintf(stdout, "%s: %d instructions (%.1f%% loads, %.1f%% stores, %.1f%% branches) — valid\n",
 		path, n, pct(loads, n), pct(stores, n), pct(branches, n))
 	return nil
 }
@@ -99,9 +106,4 @@ func pct(a, n int) float64 {
 		return 0
 	}
 	return 100 * float64(a) / float64(n)
-}
-
-func fail(err error) {
-	fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-	os.Exit(1)
 }

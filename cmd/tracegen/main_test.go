@@ -1,0 +1,35 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateAndVerifyRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "adpcm_c.trace")
+	var out bytes.Buffer
+	if err := run([]string{"-workload", "adpcm_c", "-instructions", "5000", "-o", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote 5000 instructions") {
+		t.Fatalf("unexpected generate output: %s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-verify", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "5000 instructions") || !strings.Contains(out.String(), "valid") {
+		t.Fatalf("unexpected verify output: %s", out.String())
+	}
+}
+
+func TestMissingFlags(t *testing.T) {
+	if err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("no flags accepted")
+	}
+	if err := run([]string{"-workload", "nope"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMainSmoke runs the example end-to-end with stdout silenced; it
+// fails on any panic or log.Fatal inside the example.
+func TestMainSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke test skipped in -short mode")
+	}
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+	main()
+}

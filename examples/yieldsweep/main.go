@@ -1,70 +1,39 @@
 // Yieldsweep walks the design methodology across the ULE-mode voltage
 // and yield-target space, showing how the sized 10T and 8T+EDC cells —
 // and therefore the proposed design's advantage — move with the
-// operating point. It also demonstrates why the methodology needs
-// importance sampling by comparing the estimator against naive
-// Monte-Carlo at the paper's Pf magnitudes.
+// operating point, and demonstrates why the methodology needs
+// importance sampling at the paper's Pf magnitudes.
+//
+// The sweeps are registered experiments (internal/experiments) executed
+// on the concurrent engine — this example is the minimal driver over a
+// registry: resolve, run, sink.
 package main
 
 import (
 	"fmt"
+	"log"
+	"os"
 
-	"edcache/internal/bitcell"
-	"edcache/internal/stats"
-	"edcache/internal/yield"
+	"edcache/internal/experiments"
+	"edcache/internal/sim"
 )
 
 func main() {
-	fmt.Println("=== Sizing vs ULE voltage (scenario A, 99% yield) ===")
-	tb := stats.NewTable("Vcc (mV)", "10T size", "8T size", "8T+SECDED area/bit vs 10T", "iterations")
-	for _, mv := range []float64{300, 325, 350, 375, 400, 450} {
-		in := yield.PaperInput(yield.ScenarioA)
-		in.VccULE = mv / 1000
-		res, err := yield.Run(in)
-		if err != nil {
-			// Below some voltage even upsized cells cannot meet the
-			// target; report and continue — that cliff is the point.
-			tb.AddRow(fmt.Sprintf("%.0f", mv), "infeasible", "-", "-", "-")
-			continue
-		}
-		ratio := res.ProposedCell.AreaRel() * 39 / 32 / res.BaselineCell.AreaRel()
-		tb.AddRow(fmt.Sprintf("%.0f", mv),
-			fmt.Sprintf("x%.2f", res.BaselineCell.Size),
-			fmt.Sprintf("x%.2f", res.ProposedCell.Size),
-			fmt.Sprintf("%.2f", ratio),
-			fmt.Sprint(len(res.Iterations)))
-	}
-	fmt.Print(tb.String())
+	reg := sim.NewRegistry()
+	experiments.RegisterAll(reg, experiments.Options{})
 
-	fmt.Println("\n=== Sizing vs yield target (scenario A, 350 mV) ===")
-	tb2 := stats.NewTable("target yield", "Pf target", "10T size", "8T size")
-	for _, y := range []float64{0.90, 0.95, 0.99, 0.995, 0.999} {
-		in := yield.PaperInput(yield.ScenarioA)
-		in.TargetYield = y
-		res, err := yield.Run(in)
-		if err != nil {
-			// Very aggressive yield targets push the Pf requirement
-			// below the 6T failure floor — a real feasibility cliff
-			// (the fix would be coding the HP ways too).
-			tb2.AddRow(fmt.Sprintf("%.1f%%", y*100), "infeasible: "+err.Error(), "-", "-")
-			continue
-		}
-		tb2.AddRow(fmt.Sprintf("%.1f%%", y*100), fmt.Sprintf("%.3g", res.PfTarget),
-			fmt.Sprintf("x%.2f", res.BaselineCell.Size), fmt.Sprintf("x%.2f", res.ProposedCell.Size))
+	names, err := reg.Resolve("sweep-voltage,sweep-yieldtarget,mc-sampling")
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Print(tb2.String())
-
-	fmt.Println("\n=== Why importance sampling (Chen et al.) ===")
-	cell := bitcell.MustNew(bitcell.T10, 2.60)
-	fmt.Printf("cell %v at 350 mV, analytic Pf = %.4g\n", cell, cell.FailureProb(0.35))
-	tb3 := stats.NewTable("samples", "naive MC estimate", "importance sampling", "IS std err")
-	for _, n := range []int{1000, 10000, 100000} {
-		naive := bitcell.NaiveMonteCarloFailureProb(cell, 0.35, n, 42)
-		is := bitcell.MonteCarloFailureProb(cell, 0.35, n, 42)
-		tb3.AddRow(fmt.Sprint(n), fmt.Sprintf("%.3g", naive.Pf), fmt.Sprintf("%.4g", is.Pf),
-			fmt.Sprintf("%.2g", is.StdErr))
+	results, err := sim.Runner{Seed: 42}.RunAll(reg, names)
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Print(tb3.String())
-	fmt.Println("\nNaive sampling cannot see a 1e-6 tail at these sample counts; the")
-	fmt.Println("mean-shifted estimator resolves it with a few thousand samples.")
+	sink, _ := sim.NewSink("text", os.Stdout)
+	if err := sink.Write(results); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n(the voltage cliff and the yield-target cliff are real feasibility limits; the")
+	fmt.Println(" fix for the latter would be coding the HP ways too)")
 }

@@ -1,0 +1,3 @@
+module edcache
+
+go 1.21

@@ -3,6 +3,8 @@ package bitcell
 import (
 	"math"
 	"math/rand"
+
+	"edcache/internal/sim"
 )
 
 // MonteCarloResult is an importance-sampling failure-probability estimate.
@@ -10,7 +12,6 @@ type MonteCarloResult struct {
 	Pf       float64 // estimated failure probability (including floor)
 	StdErr   float64 // standard error of the variational part
 	Samples  int
-	ShiftMu  float64 // proposal distribution mean used
 	Analytic float64 // closed-form value, for cross-checking
 }
 
@@ -26,21 +27,14 @@ func MonteCarloFailureProb(c Cell, vcc float64, samples int, seed int64) MonteCa
 	mu := c.MarginMean(vcc)
 	sigma := c.MarginSigma(vcc)
 	rng := rand.New(rand.NewSource(seed))
+	sum, sumSq := isChunk(mu, sigma, samples, rng)
+	return reduceIS(c, vcc, samples, sum, sumSq)
+}
 
-	// Proposal: margin* ~ N(shift, sigma) with shift = 0 (the failure
-	// boundary). Weight for sample x: f(x)/g(x) with
-	// f = N(mu, sigma), g = N(0, sigma):
-	//   w(x) = exp( (−(x−mu)² + x²) / (2σ²) ) = exp( (2x·mu − mu²) / (2σ²) ).
-	shift := 0.0
-	var sum, sumSq float64
-	for i := 0; i < samples; i++ {
-		x := shift + sigma*rng.NormFloat64()
-		if x < 0 {
-			w := math.Exp((2*x*mu - mu*mu) / (2 * sigma * sigma))
-			sum += w
-			sumSq += w * w
-		}
-	}
+// reduceIS turns accumulated importance-sampling weights into the
+// final estimate — shared by the serial and sharded estimators so the
+// floor term and variance clamp cannot diverge.
+func reduceIS(c Cell, vcc float64, samples int, sum, sumSq float64) MonteCarloResult {
 	n := float64(samples)
 	mean := sum / n
 	variance := (sumSq/n - mean*mean) / n
@@ -51,9 +45,60 @@ func MonteCarloFailureProb(c Cell, vcc float64, samples int, seed int64) MonteCa
 		Pf:       mean + c.FailureFloor(vcc),
 		StdErr:   math.Sqrt(variance),
 		Samples:  samples,
-		ShiftMu:  shift,
 		Analytic: c.FailureProb(vcc),
 	}
+}
+
+// isChunk draws `samples` importance-sampling weights and returns their
+// sum and sum of squares. Proposal: margin* ~ N(shift, sigma) with
+// shift = 0 (the failure boundary). Weight for sample x: f(x)/g(x) with
+// f = N(mu, sigma), g = N(0, sigma):
+//
+//	w(x) = exp( (−(x−mu)² + x²) / (2σ²) ) = exp( (2x·mu − mu²) / (2σ²) ).
+func isChunk(mu, sigma float64, samples int, rng *rand.Rand) (sum, sumSq float64) {
+	for i := 0; i < samples; i++ {
+		x := sigma * rng.NormFloat64()
+		if x < 0 {
+			w := math.Exp((2*x*mu - mu*mu) / (2 * sigma * sigma))
+			sum += w
+			sumSq += w * w
+		}
+	}
+	return sum, sumSq
+}
+
+// mcShard is the per-shard sample count of the parallel estimator. The
+// shard plan depends only on the requested sample count, never on the
+// worker count, so the reduced estimate is bit-identical for any pool
+// size.
+const mcShard = 4096
+
+// MonteCarloFailureProbN is MonteCarloFailureProb with the sample loop
+// sharded across a worker pool: samples are split into fixed-size
+// sub-seeded shards whose partial sums are reduced in shard order.
+func MonteCarloFailureProbN(c Cell, vcc float64, samples int, seed int64, workers int) MonteCarloResult {
+	mu := c.MarginMean(vcc)
+	sigma := c.MarginSigma(vcc)
+	shards := (samples + mcShard - 1) / mcShard
+	type partial struct{ sum, sumSq float64 }
+	parts, err := sim.Map(workers, shards, func(i int) (partial, error) {
+		count := mcShard
+		if i == shards-1 {
+			count = samples - i*mcShard
+		}
+		rng := rand.New(rand.NewSource(sim.SubSeed(seed, "bitcell.mc", i)))
+		s, sq := isChunk(mu, sigma, count, rng)
+		return partial{s, sq}, nil
+	})
+	if err != nil { // unreachable: shards never fail
+		panic(err)
+	}
+	var sum, sumSq float64
+	for _, p := range parts {
+		sum += p.sum
+		sumSq += p.sumSq
+	}
+	return reduceIS(c, vcc, samples, sum, sumSq)
 }
 
 // NaiveMonteCarloFailureProb is the unshifted estimator, retained to

@@ -49,7 +49,9 @@ type Result struct {
 	Writeback bool // the displaced line was dirty (memory write traffic)
 }
 
-// Cache is a set-associative cache with per-way gating.
+// Cache is a set-associative cache with per-way gating. A Cache holds
+// per-run mutable state and is not safe for concurrent use; concurrent
+// simulations each build their own (core.System does this per run).
 type Cache struct {
 	cfg     Config
 	lines   []line // sets × ways, row-major by set

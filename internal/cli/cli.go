@@ -1,0 +1,55 @@
+// Package cli holds the conventions shared by every cmd/ binary: a
+// testable run(args, stdout) body, -h/-help printing usage and exiting
+// 0, and flag parse errors exiting 2 without re-printing the message
+// the FlagSet already wrote to stderr.
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ErrBadFlags marks a flag parse failure whose message the FlagSet has
+// already printed to stderr.
+var ErrBadFlags = errors.New("invalid flags")
+
+// Parse wraps fs.Parse with the shared conventions: -h/-help surfaces
+// as flag.ErrHelp (success), any other parse failure as ErrBadFlags.
+func Parse(fs *flag.FlagSet, args []string) error {
+	err := fs.Parse(args)
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, flag.ErrHelp):
+		return flag.ErrHelp
+	default:
+		return ErrBadFlags
+	}
+}
+
+// Main runs the command body and exits with the shared conventions.
+// exitCode, when non-nil, maps command-specific errors to exit codes
+// first (edctool's verdict codes); the defaults are 0 for nil and
+// flag.ErrHelp, 2 for ErrBadFlags, and 1 (with the error printed) for
+// everything else.
+func Main(name string, run func(args []string, stdout io.Writer) error, exitCode func(error) (int, bool)) {
+	err := run(os.Args[1:], os.Stdout)
+	if exitCode != nil {
+		if code, ok := exitCode(err); ok {
+			os.Exit(code)
+		}
+	}
+	switch {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+		// usage already printed by the FlagSet
+	case errors.Is(err, ErrBadFlags):
+		os.Exit(2) // message already printed by the FlagSet
+	default:
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,33 @@
+package cli
+
+import (
+	"errors"
+	"flag"
+	"io"
+	"testing"
+)
+
+func newFS() *flag.FlagSet {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	fs.Bool("ok", false, "")
+	return fs
+}
+
+func TestParseOK(t *testing.T) {
+	if err := Parse(newFS(), []string{"-ok"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseHelp(t *testing.T) {
+	if err := Parse(newFS(), []string{"-h"}); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("Parse(-h) = %v, want flag.ErrHelp", err)
+	}
+}
+
+func TestParseBadFlag(t *testing.T) {
+	if err := Parse(newFS(), []string{"-bogus"}); !errors.Is(err, ErrBadFlags) {
+		t.Fatalf("Parse(-bogus) = %v, want ErrBadFlags", err)
+	}
+}

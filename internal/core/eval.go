@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"edcache/internal/bench"
+	"edcache/internal/sim"
 	"edcache/internal/yield"
 )
 
@@ -52,8 +54,17 @@ func (p Pair) NormalizedBase() Breakdown {
 }
 
 // RunPairs evaluates baseline and proposed systems of one scenario over
-// the given workloads in the given mode.
+// the given workloads in the given mode, fanning the workloads out
+// across all available cores.
 func RunPairs(s yield.Scenario, m Mode, workloads []bench.Workload) ([]Pair, error) {
+	return RunPairsN(s, m, workloads, runtime.GOMAXPROCS(0))
+}
+
+// RunPairsN is RunPairs on a bounded worker pool. The two sized systems
+// are shared by every worker — System.Run is safe for concurrent use —
+// and pairs are collected by workload index, so the result is identical
+// for any worker count.
+func RunPairsN(s yield.Scenario, m Mode, workloads []bench.Workload, workers int) ([]Pair, error) {
 	base, err := NewSystem(PaperConfig(s, Baseline))
 	if err != nil {
 		return nil, err
@@ -62,19 +73,18 @@ func RunPairs(s yield.Scenario, m Mode, workloads []bench.Workload) ([]Pair, err
 	if err != nil {
 		return nil, err
 	}
-	pairs := make([]Pair, 0, len(workloads))
-	for _, w := range workloads {
+	return sim.Map(workers, len(workloads), func(i int) (Pair, error) {
+		w := workloads[i]
 		rb, err := base.Run(w, m)
 		if err != nil {
-			return nil, fmt.Errorf("core: %s baseline: %w", w.Name, err)
+			return Pair{}, fmt.Errorf("core: %s baseline: %w", w.Name, err)
 		}
 		rp, err := prop.Run(w, m)
 		if err != nil {
-			return nil, fmt.Errorf("core: %s proposed: %w", w.Name, err)
+			return Pair{}, fmt.Errorf("core: %s proposed: %w", w.Name, err)
 		}
-		pairs = append(pairs, Pair{Workload: w.Name, Base: rb, Prop: rp})
-	}
-	return pairs, nil
+		return Pair{Workload: w.Name, Base: rb, Prop: rp}, nil
+	})
 }
 
 // Summary aggregates a set of pairs into the averages the paper quotes.

@@ -16,6 +16,11 @@ import (
 // System is one fully-sized instance of the evaluation platform: an
 // in-order core with hybrid IL1 and DL1 caches, built by running the
 // design methodology of Section III-C for the requested configuration.
+//
+// A System is immutable after NewSystem: Run and RunStream allocate
+// fresh per-run cache and port state and only read the sized arrays and
+// codec models, so one System may serve any number of concurrent runs —
+// the contract the sim engine's worker pool relies on.
 type System struct {
 	cfg    Config
 	sizing yield.Result

@@ -1,0 +1,136 @@
+// Package experiments declares every evaluation of the paper —
+// Section IV's tables and figures, the ablations, and the operating-
+// point sweeps — as sim.Experiment values on a sim.Registry. Binaries
+// (cmd/experiments, cmd/sizer, cmd/hybridsim, examples/yieldsweep) are
+// thin drivers over this package: adding a new scenario is a ~30-line
+// registration here, not a new main().
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+
+	"edcache/internal/bench"
+	"edcache/internal/core"
+	"edcache/internal/sim"
+	"edcache/internal/yield"
+)
+
+// Options tunes the cost of the registered experiments. Tests register
+// with tiny values; the binaries default to the paper's.
+type Options struct {
+	// Instructions is the dynamic instruction count per workload run
+	// (default 300 000, the paper-scale trace length).
+	Instructions int
+	// Trials is the silicon-sample count of the Monte-Carlo
+	// reliability campaign (default 2000).
+	Trials int
+	// MCSamples are the sample counts the mc-sampling experiment
+	// contrasts (default 1e3, 1e4, 1e5).
+	MCSamples []int
+	// Workers bounds the inner-loop pools (workload fan-out, trial
+	// shards) that run inside a single grid task; ≤ 0 means
+	// runtime.GOMAXPROCS(0). When the driver also runs grid tasks
+	// concurrently the goroutine count can exceed Workers, but true
+	// parallelism stays bounded by GOMAXPROCS — oversubscription only
+	// queues runnable goroutines, it does not change results.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Instructions <= 0 {
+		o.Instructions = 300_000
+	}
+	if o.Trials <= 0 {
+		o.Trials = 2000
+	}
+	if len(o.MCSamples) == 0 {
+		o.MCSamples = []int{1_000, 10_000, 100_000}
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// RegisterAll registers the full evaluation suite on the registry.
+func RegisterAll(r *sim.Registry, o Options) {
+	o = o.withDefaults()
+	r.MustRegister(sizingExperiment())
+	r.MustRegister(yieldExperiment())
+	r.MustRegister(fig3Experiment(o))
+	r.MustRegister(fig4Experiment(o))
+	r.MustRegister(headlineExperiment(o))
+	r.MustRegister(areaExperiment())
+	r.MustRegister(reliabilityExperiment(o))
+	r.MustRegister(wcetExperiment())
+	r.MustRegister(serExperiment())
+	for _, e := range ablationExperiments(o) {
+		r.MustRegister(e)
+	}
+	r.MustRegister(sweepVoltageExperiment())
+	r.MustRegister(sweepYieldExperiment())
+	r.MustRegister(mcSamplingExperiment(o))
+}
+
+// scenarios is the evaluation order of the paper's two reliability
+// scenarios.
+var scenarios = []yield.Scenario{yield.ScenarioA, yield.ScenarioB}
+
+// scenarioByName resolves a task's "scenario" parameter.
+func scenarioByName(name string) (yield.Scenario, error) {
+	switch name {
+	case "A", "a":
+		return yield.ScenarioA, nil
+	case "B", "b":
+		return yield.ScenarioB, nil
+	default:
+		return 0, fmt.Errorf("experiments: unknown scenario %q", name)
+	}
+}
+
+// modeByName resolves a task's "mode" parameter.
+func modeByName(name string) (core.Mode, error) {
+	switch name {
+	case "HP", "hp":
+		return core.ModeHP, nil
+	case "ULE", "ule":
+		return core.ModeULE, nil
+	default:
+		return 0, fmt.Errorf("experiments: unknown mode %q", name)
+	}
+}
+
+// workloadByName resolves a benchmark name at the configured trace
+// length.
+func workloadByName(name string, instructions int) (bench.Workload, error) {
+	w, err := bench.ByName(name)
+	if err != nil {
+		return bench.Workload{}, err
+	}
+	return w.ScaledTo(instructions), nil
+}
+
+// suite returns the paper's per-mode workload suite scaled to the
+// configured trace length.
+func suite(m core.Mode, instructions int) []bench.Workload {
+	ws := core.PaperModeWorkloads(m)
+	for i := range ws {
+		ws[i] = ws[i].ScaledTo(instructions)
+	}
+	return ws
+}
+
+// breakdownMetrics flattens an EPI breakdown into named metrics.
+func breakdownMetrics(prefix string, b core.Breakdown) []sim.Metric {
+	return []sim.Metric{
+		sim.NumU(prefix+"_dyn", b.CacheDynamic, "pJ/i"),
+		sim.NumU(prefix+"_leak", b.CacheLeakage, "pJ/i"),
+		sim.NumU(prefix+"_edc", b.EDC, "pJ/i"),
+		sim.NumU(prefix+"_core", b.Core, "pJ/i"),
+	}
+}
+
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }

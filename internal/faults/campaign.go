@@ -1,0 +1,61 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+
+	"edcache/internal/sim"
+)
+
+// Campaign is a Monte-Carlo silicon-sampling campaign: Trials
+// independent fault maps are drawn for the geometry at per-bit
+// probability Pf, and each sampled die is accepted when no word holds
+// more than Tolerable hard faults (Eq. (1)/(2) acceptance).
+type Campaign struct {
+	Geometry  WayGeometry
+	Pf        float64
+	Trials    int
+	Tolerable int
+}
+
+// CampaignResult summarises one campaign.
+type CampaignResult struct {
+	Usable int // dies accepted
+	Trials int
+}
+
+// Yield returns the measured usable fraction.
+func (r CampaignResult) Yield() float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	return float64(r.Usable) / float64(r.Trials)
+}
+
+// Run executes the campaign on a worker pool. Every trial derives its
+// own RNG from (seed, trial index), so the result is identical for any
+// worker count — the property the engine's determinism test locks in.
+func (c Campaign) Run(seed int64, workers int) (CampaignResult, error) {
+	if c.Trials <= 0 {
+		return CampaignResult{}, fmt.Errorf("faults: campaign needs a positive trial count, got %d", c.Trials)
+	}
+	usable, err := sim.Map(workers, c.Trials, func(i int) (int, error) {
+		rng := rand.New(rand.NewSource(sim.SubSeed(seed, "faults.campaign", i)))
+		m, err := Generate(c.Geometry, c.Pf, rng)
+		if err != nil {
+			return 0, err
+		}
+		if m.Usable(c.Tolerable) {
+			return 1, nil
+		}
+		return 0, nil
+	})
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	res := CampaignResult{Trials: c.Trials}
+	for _, u := range usable {
+		res.Usable += u
+	}
+	return res, nil
+}

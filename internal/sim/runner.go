@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Runner executes an experiment's parameter grid on a worker pool.
+//
+// Tasks are handed to workers through a channel, but each worker writes
+// its result into the slot indexed by the task ID, so the collected
+// slice — and everything derived from it (Finish summaries, sink
+// output) — is identical for any worker count.
+type Runner struct {
+	// Workers is the pool size; ≤ 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Seed is the master seed every per-task RNG derives from. Zero is
+	// a valid (and the default) fixed seed.
+	Seed int64
+}
+
+// workers returns the effective pool size for n tasks.
+func (r Runner) workers(n int) int {
+	w := r.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes every task of the experiment's grid and returns the
+// results in grid order, then applies the experiment's Finish hook if
+// it has one. The first task error (by grid index) aborts the run.
+func (r Runner) Run(e Experiment) ([]Result, error) {
+	tasks := e.Grid()
+	results, err := Map(r.workers(len(tasks)), len(tasks), func(i int) (Result, error) {
+		t := tasks[i]
+		t.ID = i
+		t.Seed = SubSeed(r.Seed, e.Name(), i)
+		res, err := e.Run(t, rand.New(rand.NewSource(t.Seed)))
+		if err != nil {
+			return Result{}, fmt.Errorf("%s [%s]: %w", e.Name(), t.Label, err)
+		}
+		res.Experiment = e.Name()
+		res.Task = t
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if f, ok := e.(Finisher); ok {
+		results, err = f.Finish(results)
+		if err != nil {
+			return nil, fmt.Errorf("%s: finish: %w", e.Name(), err)
+		}
+		for i := range results {
+			if results[i].Experiment == "" {
+				results[i].Experiment = e.Name()
+			}
+		}
+	}
+	return results, nil
+}
+
+// RunAll runs the named experiments from the registry in order and
+// returns the concatenated results.
+func (r Runner) RunAll(reg *Registry, names []string) ([]Result, error) {
+	var out []Result
+	for _, name := range names {
+		e, ok := reg.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("sim: unknown experiment %q", name)
+		}
+		res, err := r.Run(e)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res...)
+	}
+	return out, nil
+}
+
+// Map fans fn out over indices [0, n) across a pool of `workers`
+// goroutines and returns the outputs in index order. The first error by
+// index wins; remaining indices may or may not have been evaluated.
+// It is the engine's primitive for embarrassingly parallel inner loops
+// (workload fan-out, Monte-Carlo trial shards).
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SubSeed derives a deterministic per-task seed from a master seed, a
+// stream name and an index, using an FNV-mixed splitmix64 finalizer.
+// Distinct (name, index) pairs get statistically independent seeds, and
+// the derivation depends on nothing scheduling-related — the foundation
+// of the engine's any-worker-count determinism.
+func SubSeed(master int64, name string, index int) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	x := uint64(master) ^ h.Sum64()
+	x += (uint64(index) + 1) * 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x)
+}

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"edcache/internal/stats"
+)
+
+// Sink renders a batch of results. The engine hands results to sinks in
+// grid order, so any Sink's output is deterministic for a fixed seed
+// regardless of worker count.
+type Sink interface {
+	Write(results []Result) error
+}
+
+// Formats lists the sink formats NewSink accepts.
+func Formats() []string { return []string{"text", "json", "csv"} }
+
+// NewSink builds the named sink over the writer.
+func NewSink(format string, w io.Writer) (Sink, error) {
+	switch format {
+	case "", "text":
+		return &TextSink{W: w}, nil
+	case "json":
+		return &JSONSink{W: w}, nil
+	case "csv":
+		return &CSVSink{W: w}, nil
+	default:
+		return nil, fmt.Errorf("sim: unknown format %q (have: %s)", format, strings.Join(Formats(), ", "))
+	}
+}
+
+// TextSink renders results as aligned tables grouped per experiment,
+// with Detail blocks printed verbatim — the human-facing report that
+// replaced the ad-hoc fmt.Println experiments.
+type TextSink struct {
+	W io.Writer
+}
+
+// Write implements Sink. Consecutive results with the same metric
+// shape render as one table; Detail blocks are buffered and printed
+// after the table they belong to.
+func (s *TextSink) Write(results []Result) error {
+	var (
+		tb      *stats.Table
+		cols    []string
+		details []string
+		exp     string
+		started bool
+	)
+	flush := func() {
+		if tb != nil {
+			fmt.Fprint(s.W, tb.String())
+			tb, cols = nil, nil
+		}
+		for _, d := range details {
+			fmt.Fprint(s.W, d)
+			if !strings.HasSuffix(d, "\n") {
+				fmt.Fprintln(s.W)
+			}
+		}
+		details = nil
+	}
+	for _, r := range results {
+		if r.Experiment != exp {
+			flush()
+			if started {
+				fmt.Fprintln(s.W)
+			}
+			fmt.Fprintf(s.W, "========== %s ==========\n", r.Experiment)
+			exp = r.Experiment
+			started = true
+		}
+		if len(r.Metrics) > 0 {
+			names := make([]string, len(r.Metrics)+1)
+			names[0] = "task"
+			for i, m := range r.Metrics {
+				names[i+1] = m.Name
+				if m.Unit != "" {
+					names[i+1] += " (" + m.Unit + ")"
+				}
+			}
+			if tb == nil || !equalStrings(cols, names) {
+				flush()
+				cols = names
+				tb = stats.NewTable(names...)
+			}
+			row := make([]string, len(r.Metrics)+1)
+			row[0] = r.Task.Label
+			for i, m := range r.Metrics {
+				row[i+1] = renderMetric(m)
+			}
+			tb.AddRow(row...)
+		}
+		if r.Detail != "" {
+			details = append(details, fmt.Sprintf("--- %s ---\n%s", r.Task.Label, r.Detail))
+		}
+	}
+	flush()
+	return nil
+}
+
+func renderMetric(m Metric) string {
+	if m.Text != "" {
+		return m.Text
+	}
+	return strconv.FormatFloat(m.Value, 'g', 6, 64)
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// JSONSink renders the results as one indented JSON array. Map keys are
+// sorted by encoding/json, so output is byte-stable.
+type JSONSink struct {
+	W io.Writer
+}
+
+// Write implements Sink.
+func (s *JSONSink) Write(results []Result) error {
+	enc := json.NewEncoder(s.W)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+// CSVSink renders one row per metric: experiment, task label, params,
+// metric name, value, unit, formatted text.
+type CSVSink struct {
+	W io.Writer
+}
+
+// Write implements Sink.
+func (s *CSVSink) Write(results []Result) error {
+	w := csv.NewWriter(s.W)
+	if err := w.Write([]string{"experiment", "task", "params", "metric", "value", "unit", "text"}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		for _, m := range r.Metrics {
+			rec := []string{
+				r.Experiment, r.Task.Label, r.Task.ParamString(),
+				m.Name, strconv.FormatFloat(m.Value, 'g', -1, 64), m.Unit, m.Text,
+			}
+			if err := w.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
