@@ -48,13 +48,14 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	if *list {
-		tb := stats.NewTable("name", "suite", "code", "data", "mode duty")
-		for _, w := range bench.All() {
+		tb := stats.NewTable("name", "suite", "pattern", "code", "data", "mode duty")
+		for _, w := range bench.Full() {
 			duty := "HP"
 			if w.Suite == bench.SmallBench {
 				duty = "ULE"
 			}
-			tb.AddRow(w.Name, w.Suite.String(), fmt.Sprintf("%dB", w.CodeBytes), fmt.Sprintf("%dB", w.DataBytes), duty)
+			tb.AddRow(w.Name, w.Suite.String(), w.Pattern.String(),
+				fmt.Sprintf("%dB", w.CodeBytes), fmt.Sprintf("%dB", w.DataBytes), duty)
 		}
 		fmt.Fprint(stdout, tb.String())
 		return nil

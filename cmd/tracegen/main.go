@@ -1,11 +1,16 @@
-// Command tracegen materialises a synthetic MediaBench-like workload as
-// a binary trace file that cmd/hybridsim (and any Stream consumer) can
-// replay byte-identically — the generate-once, replay-everywhere
-// workflow of trace-driven evaluations.
+// Command tracegen materialises a synthetic workload — the paper suite
+// or any extension-corpus generator (hybridsim -list shows all) — as a
+// binary trace file that cmd/hybridsim (and any Stream consumer) can
+// replay byte-identically: the generate-once, replay-everywhere
+// workflow of trace-driven evaluations. Traces are written in format v2
+// (chunked, streamable, optionally gzip-compressed) by default; -format
+// v1 keeps the flat legacy container. See docs/TRACEFORMAT.md for the
+// format spec.
 //
 // Usage:
 //
 //	tracegen -workload gsm_c -instructions 300000 -o gsm_c.trace
+//	tracegen -workload ptrchase_l -gzip -o chase.trace.gz
 //	tracegen -verify gsm_c.trace
 package main
 
@@ -31,7 +36,10 @@ func run(args []string, stdout io.Writer) error {
 		workload     = fs.String("workload", "", "benchmark to generate (see hybridsim -list)")
 		instructions = fs.Int("instructions", 300_000, "dynamic instruction count")
 		out          = fs.String("o", "", "output trace file (default: <workload>.trace)")
-		verify       = fs.String("verify", "", "validate an existing trace file and print its stats")
+		format       = fs.String("format", "v2", "container format: v1 (flat) or v2 (chunked, streamable)")
+		gzipBody     = fs.Bool("gzip", false, "gzip-compress the v2 body")
+		chunk        = fs.Int("chunk", 0, "records per v2 chunk (0 = default)")
+		verify       = fs.String("verify", "", "validate an existing trace file (v1 or v2) and print its stats")
 	)
 	if err := cli.Parse(fs, args); err != nil {
 		return err
@@ -46,6 +54,20 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// Validate the option combination before touching the output path,
+	// so a bad invocation cannot truncate an existing trace file.
+	switch *format {
+	case "v2":
+		if *chunk < 0 || *chunk > trace.MaxChunkRecords {
+			return fmt.Errorf("-chunk %d outside [0, %d]", *chunk, trace.MaxChunkRecords)
+		}
+	case "v1":
+		if *gzipBody || *chunk != 0 {
+			return fmt.Errorf("-gzip and -chunk need -format v2")
+		}
+	default:
+		return fmt.Errorf("unknown format %q (want v1 or v2)", *format)
+	}
 	w = w.ScaledTo(*instructions)
 	path := *out
 	if path == "" {
@@ -55,7 +77,14 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	n, err := trace.Write(f, w.Stream())
+	var n int64
+	if *format == "v2" {
+		n, err = trace.WriteV2(f, w.Stream(), trace.V2Options{Compress: *gzipBody, ChunkRecords: *chunk})
+	} else {
+		var n1 int
+		n1, err = trace.Write(f, w.Stream())
+		n = int64(n1)
+	}
 	if err != nil {
 		f.Close()
 		return err
@@ -63,7 +92,7 @@ func run(args []string, stdout io.Writer) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "wrote %d instructions of %s to %s\n", n, w.Name, path)
+	fmt.Fprintf(stdout, "wrote %d instructions of %s to %s (format %s)\n", n, w.Name, path, *format)
 	return nil
 }
 
@@ -78,26 +107,33 @@ func verifyTrace(path string, stdout io.Writer) error {
 		return err
 	}
 	var n, loads, stores, branches int
+	buf := make([]trace.Inst, 4096)
 	for {
-		inst, ok := r.Next()
-		if !ok {
+		c := r.NextBatch(buf)
+		if c == 0 {
 			break
 		}
-		n++
-		switch {
-		case inst.IsLoad:
-			loads++
-		case inst.IsStore:
-			stores++
-		case inst.IsBranch:
-			branches++
+		for _, inst := range buf[:c] {
+			switch {
+			case inst.IsLoad:
+				loads++
+			case inst.IsStore:
+				stores++
+			case inst.IsBranch:
+				branches++
+			}
 		}
+		n += c
 	}
 	if err := r.Err(); err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "%s: %d instructions (%.1f%% loads, %.1f%% stores, %.1f%% branches) — valid\n",
-		path, n, pct(loads, n), pct(stores, n), pct(branches, n))
+	compression := "uncompressed"
+	if r.Compressed() {
+		compression = "gzip"
+	}
+	fmt.Fprintf(stdout, "%s: format v%d (%s), %d instructions (%.1f%% loads, %.1f%% stores, %.1f%% branches) — valid\n",
+		path, r.Version(), compression, n, pct(loads, n), pct(stores, n), pct(branches, n))
 	return nil
 }
 

@@ -2,26 +2,46 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
 
 func TestGenerateAndVerifyRoundTrip(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "adpcm_c.trace")
-	var out bytes.Buffer
-	if err := run([]string{"-workload", "adpcm_c", "-instructions", "5000", "-o", path}, &out); err != nil {
-		t.Fatal(err)
-	}
-	if !strings.Contains(out.String(), "wrote 5000 instructions") {
-		t.Fatalf("unexpected generate output: %s", out.String())
-	}
-	out.Reset()
-	if err := run([]string{"-verify", path}, &out); err != nil {
-		t.Fatal(err)
-	}
-	if !strings.Contains(out.String(), "5000 instructions") || !strings.Contains(out.String(), "valid") {
-		t.Fatalf("unexpected verify output: %s", out.String())
+	// The acceptance contract: -verify accepts both v1 and v2 files,
+	// compressed or not, for paper and corpus workloads alike.
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"v1", []string{"-workload", "adpcm_c", "-format", "v1"}, "format v1 (uncompressed)"},
+		{"v2", []string{"-workload", "adpcm_c"}, "format v2 (uncompressed)"},
+		{"v2-gzip", []string{"-workload", "adpcm_c", "-gzip"}, "format v2 (gzip)"},
+		{"v2-corpus", []string{"-workload", "ptrchase_s", "-gzip", "-chunk", "512"}, "format v2 (gzip)"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "out.trace")
+			var out bytes.Buffer
+			args := append(tc.args, "-instructions", "5000", "-o", path)
+			if err := run(args, &out); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(out.String(), "wrote 5000 instructions") {
+				t.Fatalf("unexpected generate output: %s", out.String())
+			}
+			out.Reset()
+			if err := run([]string{"-verify", path}, &out); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(out.String(), "5000 instructions") || !strings.Contains(out.String(), "valid") {
+				t.Fatalf("unexpected verify output: %s", out.String())
+			}
+			if !strings.Contains(out.String(), tc.want) {
+				t.Fatalf("verify output %q missing %q", out.String(), tc.want)
+			}
+		})
 	}
 }
 
@@ -31,5 +51,30 @@ func TestMissingFlags(t *testing.T) {
 	}
 	if err := run([]string{"-workload", "nope"}, &bytes.Buffer{}); err == nil {
 		t.Fatal("unknown workload accepted")
+	}
+	if err := run([]string{"-workload", "adpcm_c", "-format", "v3"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if err := run([]string{"-workload", "adpcm_c", "-format", "v1", "-gzip"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("v1 with -gzip accepted")
+	}
+}
+
+func TestVerifyRejectsCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.trace")
+	if err := run([]string{"-workload", "adpcm_c", "-instructions", "2000", "-o", path}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the file: verify must fail.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-verify", path}, &bytes.Buffer{}); err == nil {
+		t.Fatal("truncated trace verified as valid")
 	}
 }

@@ -9,6 +9,14 @@
 // generator calibrated to the kernel family's instruction mix, working
 // set and access pattern — the properties the evaluation actually
 // depends on.
+//
+// Beyond the paper's ten workloads, corpus.go grows the suite with a
+// family of parameterised generators — pointer chasing, streaming
+// stencils, branch-heavy control, phased working-set shifts, and an
+// adversarial worst-case-locality pattern (see Pattern). All() returns
+// the paper suite unchanged; Corpus() the extensions; Full() both. The
+// README's workload-corpus table documents every registered entry and
+// the recipe for adding one.
 package bench
 
 import (
@@ -36,10 +44,70 @@ func (s Suite) String() string {
 	return "BigBench"
 }
 
+// Pattern selects the access-pattern family a workload's generator
+// reproduces. The zero value is the MediaBench-style mix the paper's
+// ten workloads use; the other patterns form the extension corpus
+// (corpus.go) that stresses behaviours the paper's suite cannot reach —
+// dependent-load chains, perfect spatial streaming, control pressure,
+// working-set phase shifts, and worst-case conflict locality.
+type Pattern int
+
+const (
+	// PatternMediaBench is the paper's synthetic kernel mix: streaming
+	// plus uniform reuse over one working set.
+	PatternMediaBench Pattern = iota
+	// PatternPointerChase walks a pseudo-random permutation cycle of
+	// pointer-sized nodes: every load is address-dependent on the
+	// previous one with a next-instruction consumer, the worst case for
+	// the EDC extra hit cycle.
+	PatternPointerChase
+	// PatternStencil is a 3-point streaming stencil (read in[i-1..i+1],
+	// write out[i]) — the DSP/filter shape with near-perfect spatial
+	// locality.
+	PatternStencil
+	// PatternBranchy is control-dominated code: dense data-dependent
+	// branches over a small hot loop with a lookup table.
+	PatternBranchy
+	// PatternPhased cycles through phases with distinct working-set
+	// slices and instruction mixes (PhaseInsts instructions each),
+	// annotated by a per-phase PC region, modelling multi-phase
+	// programs whose footprint shifts at runtime.
+	PatternPhased
+	// PatternAdversarial walks addresses one cache-set stride apart so
+	// more distinct lines map to one set than the cache has ways —
+	// steady-state 100 % conflict misses, the locality worst case.
+	PatternAdversarial
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case PatternMediaBench:
+		return "mediabench"
+	case PatternPointerChase:
+		return "ptrchase"
+	case PatternStencil:
+		return "stencil"
+	case PatternBranchy:
+		return "branchy"
+	case PatternPhased:
+		return "phased"
+	case PatternAdversarial:
+		return "adversarial"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
 // Workload is a parameterised synthetic benchmark.
 type Workload struct {
 	Name  string
 	Suite Suite
+
+	// Pattern selects the generator family; the zero value is the
+	// paper's MediaBench-style mix. Pattern-specific parameters are
+	// documented on the corresponding constructor in corpus.go.
+	Pattern Pattern
 
 	Instructions int // dynamic instruction count per run
 
@@ -60,6 +128,10 @@ type Workload struct {
 	// source of the paper's ~3 % ULE-mode slowdown.
 	UseDist1Frac float64
 
+	// PhaseInsts is the per-phase instruction count of PatternPhased
+	// workloads (ignored by other patterns).
+	PhaseInsts int
+
 	Seed int64
 }
 
@@ -77,12 +149,27 @@ func (w Workload) ScaledTo(instructions int) Workload {
 }
 
 // Stream returns a fresh deterministic instruction stream for the
-// workload.
+// workload. Every returned stream also implements trace.BatchStream, so
+// serialisation (trace.WriteV2) and replay (cpu.Run) take their bulk
+// fast paths.
 func (w Workload) Stream() trace.Stream {
-	return &genStream{
-		w:   w,
-		rng: rand.New(rand.NewSource(w.Seed)),
-		pc:  codeBase,
+	switch w.Pattern {
+	case PatternPointerChase:
+		return newChaseStream(w)
+	case PatternStencil:
+		return newStencilStream(w)
+	case PatternBranchy:
+		return newBranchyStream(w)
+	case PatternPhased:
+		return newPhasedStream(w)
+	case PatternAdversarial:
+		return newAdversarialStream(w)
+	default:
+		return &genStream{
+			w:   w,
+			rng: rand.New(rand.NewSource(w.Seed)),
+			pc:  codeBase,
+		}
 	}
 }
 
@@ -101,7 +188,25 @@ func (g *genStream) Next() (trace.Inst, bool) {
 		return trace.Inst{}, false
 	}
 	g.emitted++
+	return g.gen(), true
+}
 
+// NextBatch implements trace.BatchStream: same sequence as Next, one
+// call per chunk.
+func (g *genStream) NextBatch(buf []trace.Inst) int {
+	n := g.w.Instructions - g.emitted
+	if n > len(buf) {
+		n = len(buf)
+	}
+	for i := 0; i < n; i++ {
+		buf[i] = g.gen()
+	}
+	g.emitted += n
+	return n
+}
+
+// gen produces the next instruction of the sequence.
+func (g *genStream) gen() trace.Inst {
 	inst := trace.Inst{PC: g.pc}
 	r := g.rng.Float64()
 	switch {
@@ -128,7 +233,7 @@ func (g *genStream) Next() (trace.Inst, bool) {
 			g.pc = codeBase
 		}
 	}
-	return inst, true
+	return inst
 }
 
 // nextAddr produces a data address: streaming refs walk the working set
@@ -229,9 +334,10 @@ func filter(s Suite) []Workload {
 	return out
 }
 
-// ByName looks a workload up by its MediaBench-style name.
+// ByName looks a workload up by name, across the paper suite and the
+// extension corpus.
 func ByName(name string) (Workload, error) {
-	for _, w := range All() {
+	for _, w := range Full() {
 		if w.Name == name {
 			return w, nil
 		}

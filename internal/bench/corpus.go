@@ -1,0 +1,458 @@
+// Corpus extensions: deterministic workload generators beyond the
+// paper's MediaBench-calibrated suite. The ROADMAP's north star wants
+// "as many scenarios as you can imagine"; these families cover the
+// behaviours the paper's mix cannot reach — dependent-load chains
+// (worst case for the EDC extra hit cycle), perfect spatial streaming,
+// control-flow pressure, phase-shifting working sets, and a worst-case
+// conflict-locality adversary. Each generator is parameterised
+// (footprint, mix, phase length) through an exported constructor, and
+// the registered instances live in the corpus table at the bottom of
+// this file. The README's workload-corpus table documents them all.
+package bench
+
+import (
+	"math/rand"
+
+	"edcache/internal/trace"
+)
+
+// seqStream adapts a per-instruction generator function to
+// trace.Stream and trace.BatchStream under an instruction budget.
+type seqStream struct {
+	n   int // remaining instructions
+	gen func() trace.Inst
+}
+
+// Next implements trace.Stream.
+func (s *seqStream) Next() (trace.Inst, bool) {
+	if s.n <= 0 {
+		return trace.Inst{}, false
+	}
+	s.n--
+	return s.gen(), true
+}
+
+// NextBatch implements trace.BatchStream.
+func (s *seqStream) NextBatch(buf []trace.Inst) int {
+	n := len(buf)
+	if n > s.n {
+		n = s.n
+	}
+	for i := 0; i < n; i++ {
+		buf[i] = s.gen()
+	}
+	s.n -= n
+	return n
+}
+
+// chaseNodeBytes is the node size of the pointer-chase list: a next
+// pointer plus payload, like a cons cell.
+const chaseNodeBytes = 16
+
+// PointerChase builds a linked-list traversal workload over a
+// dataBytes working set: a pseudo-random single-cycle permutation of
+// dataBytes/16 nodes is walked forever, so every load's address depends
+// on the previous load and its consumer is the next instruction
+// (UseDist 1) — the pattern that maximises the EDC pipeline-stage
+// slowdown. loadPeriod sets the load density: one chase load every
+// loadPeriod instructions (minimum 3: load, filler, loop branch).
+func PointerChase(name string, suite Suite, dataBytes, loadPeriod int, seed int64) Workload {
+	if loadPeriod < 3 {
+		loadPeriod = 3
+	}
+	if dataBytes < 2*chaseNodeBytes {
+		dataBytes = 2 * chaseNodeBytes
+	}
+	return Workload{
+		Name: name, Suite: suite, Pattern: PatternPointerChase,
+		CodeBytes: 4 * loadPeriod, DataBytes: dataBytes,
+		LoadFrac: 1 / float64(loadPeriod), BranchFrac: 1 / float64(loadPeriod),
+		TakenFrac: 1, UseDist1Frac: 1,
+		Seed: seed,
+	}
+}
+
+// newChaseStream walks the permutation cycle. The loop body is
+// loadPeriod instructions: the chase load, ALU filler, and a taken
+// back-edge.
+func newChaseStream(w Workload) trace.Stream {
+	nodes := w.DataBytes / chaseNodeBytes
+	rng := rand.New(rand.NewSource(w.Seed))
+	next := cyclicPermutation(nodes, rng)
+	bodyLen := w.CodeBytes / 4
+	cur, pos := 0, 0
+	pc := uint32(codeBase)
+	gen := func() trace.Inst {
+		inst := trace.Inst{PC: pc}
+		switch pos {
+		case 0:
+			inst.IsLoad = true
+			inst.Addr = dataBase + uint32(cur*chaseNodeBytes)
+			inst.UseDist = 1 // the next hop needs this pointer now
+			cur = int(next[cur])
+		case bodyLen - 1:
+			inst.IsBranch, inst.Taken = true, true
+		}
+		pos++
+		if pos >= bodyLen {
+			pos = 0
+			pc = codeBase
+		} else {
+			pc += 4
+		}
+		return inst
+	}
+	return &seqStream{n: w.Instructions, gen: gen}
+}
+
+// cyclicPermutation returns a uniformly random single-cycle permutation
+// (Sattolo's algorithm): following i → p[i] visits every node before
+// returning, so the chase never degenerates into a short loop.
+func cyclicPermutation(n int, rng *rand.Rand) []int32 {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := rng.Intn(i)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// stencilBody is the 8-instruction stencil loop: three neighbour loads,
+// a MAC pair, the output store, an index update, and the back-edge.
+const stencilBody = 8
+
+// Stencil builds a 3-point streaming stencil (out[i] = f(in[i-1],
+// in[i], in[i+1])) — the DSP/filter shape: near-perfect spatial
+// locality, a fixed 3-load/1-store mix, and a compulsory-miss-dominated
+// cache profile. The working set splits into an input and an output
+// array of dataBytes/2 each; elemBytes is the element size (the
+// streaming stride).
+func Stencil(name string, suite Suite, dataBytes, elemBytes int, seed int64) Workload {
+	if elemBytes < 4 {
+		elemBytes = 4
+	}
+	if dataBytes < 16*elemBytes {
+		dataBytes = 16 * elemBytes
+	}
+	return Workload{
+		Name: name, Suite: suite, Pattern: PatternStencil,
+		CodeBytes: 4 * stencilBody, DataBytes: dataBytes,
+		LoadFrac: 3.0 / stencilBody, StoreFrac: 1.0 / stencilBody,
+		BranchFrac: 1.0 / stencilBody, TakenFrac: 1,
+		StreamFrac: 1, StrideBytes: elemBytes, UseDist1Frac: 1.0 / 3,
+		Seed: seed,
+	}
+}
+
+func newStencilStream(w Workload) trace.Stream {
+	elem := w.StrideBytes
+	n := (w.DataBytes / 2) / elem // elements per array
+	inBase := uint32(dataBase)
+	outBase := uint32(dataBase + w.DataBytes/2)
+	at := func(i int) uint32 { return inBase + uint32(((i+n)%n)*elem) }
+	i, pos := 0, 0
+	pc := uint32(codeBase)
+	gen := func() trace.Inst {
+		inst := trace.Inst{PC: pc}
+		switch pos {
+		case 0:
+			inst.IsLoad, inst.Addr, inst.UseDist = true, at(i-1), 3
+		case 1:
+			inst.IsLoad, inst.Addr, inst.UseDist = true, at(i), 2
+		case 2:
+			inst.IsLoad, inst.Addr, inst.UseDist = true, at(i+1), 1
+		case 5:
+			inst.IsStore, inst.Addr = true, outBase+uint32(i*elem)
+		case stencilBody - 1:
+			inst.IsBranch, inst.Taken = true, true
+		}
+		pos++
+		if pos >= stencilBody {
+			pos = 0
+			pc = codeBase
+			i++
+			if i >= n {
+				i = 0
+			}
+		} else {
+			pc += 4
+		}
+		return inst
+	}
+	return &seqStream{n: w.Instructions, gen: gen}
+}
+
+// branchyBlock is the 4-instruction basic block of the control-heavy
+// generator: ALU, table load, ALU, conditional back-edge.
+const branchyBlock = 4
+
+// Branchy builds control-dominated code: codeBytes of basic blocks,
+// each a short loop whose trip count cycles deterministically, so one
+// in four instructions is a branch (double the paper suite's densest
+// mix) and the instruction footprint — not the data — is what presses
+// on the cache. Loads hit a small dataBytes lookup table.
+func Branchy(name string, suite Suite, codeBytes, dataBytes int, seed int64) Workload {
+	if codeBytes < 4*branchyBlock*2 {
+		codeBytes = 4 * branchyBlock * 2
+	}
+	if dataBytes < 64 {
+		dataBytes = 64
+	}
+	return Workload{
+		Name: name, Suite: suite, Pattern: PatternBranchy,
+		CodeBytes: codeBytes, DataBytes: dataBytes,
+		LoadFrac: 1.0 / branchyBlock, BranchFrac: 1.0 / branchyBlock,
+		TakenFrac: 0.7, UseDist1Frac: 0,
+		Seed: seed,
+	}
+}
+
+func newBranchyStream(w Workload) trace.Stream {
+	rng := rand.New(rand.NewSource(w.Seed))
+	blocks := w.CodeBytes / (4 * branchyBlock)
+	block, pos := 0, 0
+	trips := 1 // remaining back-edge takes of the current block
+	visit := 0
+	pc := func() uint32 { return codeBase + uint32((block*branchyBlock+pos)*4) }
+	gen := func() trace.Inst {
+		inst := trace.Inst{PC: pc()}
+		switch pos {
+		case 1:
+			inst.IsLoad = true
+			inst.Addr = dataBase + uint32(rng.Intn(w.DataBytes/4))*4
+			inst.UseDist = 2 + uint8(visit%2)
+		case branchyBlock - 1:
+			inst.IsBranch = true
+			inst.Taken = trips > 0
+		}
+		pos++
+		if pos >= branchyBlock {
+			pos = 0
+			if trips > 0 {
+				trips-- // back-edge taken: re-run this block
+			} else {
+				visit++
+				block = (block + 1) % blocks
+				// Trip counts cycle 1..6, deterministically skewed
+				// per block so the taken/not-taken mix varies.
+				trips = 1 + (visit*7+block*3)%6
+			}
+		}
+		return inst
+	}
+	return &seqStream{n: w.Instructions, gen: gen}
+}
+
+// phaseCount is the number of distinct phases a phased workload cycles
+// through; each gets its own PC region, so phase boundaries are
+// recoverable from the trace (phase-annotated by construction).
+const phaseCount = 4
+
+// phaseSpec parameterises one phase of the phased generator.
+type phaseSpec struct {
+	footFrac   float64 // fraction of DataBytes this phase touches
+	loadFrac   float64
+	storeFrac  float64
+	branchFrac float64
+	streamFrac float64 // streaming vs uniform-reuse references
+}
+
+// phaseSpecs cycles hot-reuse, full-footprint streaming, sparse walk,
+// and cold random phases — the working-set shift a single fixed mix
+// cannot express.
+var phaseSpecs = [phaseCount]phaseSpec{
+	{footFrac: 0.125, loadFrac: 0.25, storeFrac: 0.15, branchFrac: 0.12, streamFrac: 0.10},
+	{footFrac: 1.0, loadFrac: 0.30, storeFrac: 0.10, branchFrac: 0.08, streamFrac: 0.90},
+	{footFrac: 0.5, loadFrac: 0.28, storeFrac: 0.05, branchFrac: 0.10, streamFrac: 0.60},
+	{footFrac: 1.0, loadFrac: 0.20, storeFrac: 0.10, branchFrac: 0.15, streamFrac: 0.0},
+}
+
+// Phased builds a multi-phase workload: every phaseInsts instructions
+// the generator switches to the next of four phases, each with its own
+// working-set slice, instruction mix and access style, and each
+// executing in its own quarter of the code region (the phase
+// annotation). It models programs whose footprint shifts at runtime —
+// the scenario that stresses mode-switch and replacement policy rather
+// than steady state.
+func Phased(name string, suite Suite, dataBytes, phaseInsts int, seed int64) Workload {
+	if dataBytes < 1024 {
+		dataBytes = 1024
+	}
+	if phaseInsts < 1000 {
+		phaseInsts = 1000
+	}
+	return Workload{
+		Name: name, Suite: suite, Pattern: PatternPhased,
+		CodeBytes: 2048, DataBytes: dataBytes,
+		LoadFrac: 0.26, StoreFrac: 0.10, BranchFrac: 0.11, TakenFrac: 0.6,
+		StrideBytes: 4, UseDist1Frac: 0.12,
+		PhaseInsts: phaseInsts,
+		Seed:       seed,
+	}
+}
+
+func newPhasedStream(w Workload) trace.Stream {
+	rng := rand.New(rand.NewSource(w.Seed))
+	regionWords := w.CodeBytes / 4 / phaseCount
+	phase, inPhase := 0, 0
+	pc := uint32(codeBase)
+	var stream uint32
+	gen := func() trace.Inst {
+		if inPhase >= w.PhaseInsts {
+			inPhase = 0
+			phase = (phase + 1) % phaseCount
+			pc = codeBase + uint32(phase*regionWords*4)
+			stream = 0
+		}
+		inPhase++
+		sp := phaseSpecs[phase]
+		foot := int(float64(w.DataBytes) * sp.footFrac)
+		if foot < 64 {
+			foot = 64
+		}
+		inst := trace.Inst{PC: pc}
+		r := rng.Float64()
+		isMem := false
+		switch {
+		case r < sp.loadFrac:
+			inst.IsLoad, isMem = true, true
+			if rng.Float64() < w.UseDist1Frac {
+				inst.UseDist = 1
+			} else {
+				inst.UseDist = 2 + uint8(rng.Intn(2))
+			}
+		case r < sp.loadFrac+sp.storeFrac:
+			inst.IsStore, isMem = true, true
+		case r < sp.loadFrac+sp.storeFrac+sp.branchFrac:
+			inst.IsBranch = true
+			inst.Taken = rng.Float64() < w.TakenFrac
+		}
+		if isMem {
+			if rng.Float64() < sp.streamFrac {
+				inst.Addr = dataBase + stream
+				stream += uint32(w.StrideBytes)
+				if stream >= uint32(foot) {
+					stream = 0
+				}
+			} else {
+				inst.Addr = dataBase + uint32(rng.Intn(foot/4))*4
+			}
+		}
+		// PC walks the phase's own code region; taken branches jump
+		// within it.
+		regionBase := codeBase + uint32(phase*regionWords*4)
+		if inst.IsBranch && inst.Taken {
+			pc = regionBase + uint32(rng.Intn(regionWords))*4
+		} else {
+			pc += 4
+			if pc >= regionBase+uint32(regionWords*4) {
+				pc = regionBase
+			}
+		}
+		return inst
+	}
+	return &seqStream{n: w.Instructions, gen: gen}
+}
+
+// adversarialBody is the 4-instruction conflict loop: load, ALU,
+// load/store, back-edge.
+const adversarialBody = 4
+
+// Adversarial builds the worst-case-locality workload: memory
+// references cycle through conflictLines addresses exactly
+// setStrideBytes apart, so they all index the same cache set. With
+// more lines than the cache has ways and true-LRU replacement, every
+// steady-state access misses — the upper bound on miss-rate-driven
+// energy and time. setStrideBytes should be the target cache's
+// sets × line size (1024 for the paper's L1s); every 8th memory
+// reference is a store so the thrash also generates writebacks.
+func Adversarial(name string, suite Suite, conflictLines, setStrideBytes int, seed int64) Workload {
+	if conflictLines < 2 {
+		conflictLines = 2
+	}
+	if setStrideBytes < 64 {
+		setStrideBytes = 64
+	}
+	return Workload{
+		Name: name, Suite: suite, Pattern: PatternAdversarial,
+		CodeBytes: 4 * adversarialBody, DataBytes: conflictLines * setStrideBytes,
+		LoadFrac: 2.0 / adversarialBody * 0.875, StoreFrac: 2.0 / adversarialBody * 0.125,
+		BranchFrac: 1.0 / adversarialBody, TakenFrac: 1,
+		StrideBytes: setStrideBytes, UseDist1Frac: 0,
+		Seed: seed,
+	}
+}
+
+func newAdversarialStream(w Workload) trace.Stream {
+	lines := w.DataBytes / w.StrideBytes
+	k, pos := 0, 0
+	refs := 0
+	pc := uint32(codeBase)
+	nextAddr := func() uint32 {
+		a := dataBase + uint32(k*w.StrideBytes)
+		k++
+		if k >= lines {
+			k = 0
+		}
+		return a
+	}
+	gen := func() trace.Inst {
+		inst := trace.Inst{PC: pc}
+		switch pos {
+		case 0, 2:
+			refs++
+			if refs%8 == 0 {
+				inst.IsStore = true
+			} else {
+				inst.IsLoad = true
+				inst.UseDist = 3 // keep the EDC stage out of the picture
+			}
+			inst.Addr = nextAddr()
+		case adversarialBody - 1:
+			inst.IsBranch, inst.Taken = true, true
+		}
+		pos++
+		if pos >= adversarialBody {
+			pos = 0
+			pc = codeBase
+		} else {
+			pc += 4
+		}
+		return inst
+	}
+	return &seqStream{n: w.Instructions, gen: gen}
+}
+
+// corpusWorkloads is the registered extension corpus. Suite membership
+// keeps the paper's invariant: SmallBench entries fit the 1 KB ULE way
+// (code and data), BigBench entries need the full cache.
+var corpusWorkloads = []Workload{
+	PointerChase("ptrchase_s", SmallBench, 512, 4, 201),
+	PointerChase("ptrchase_l", BigBench, 8192, 4, 202),
+	Stencil("stencil_s", SmallBench, 1024, 4, 203),
+	Stencil("stencil_dsp", BigBench, 12288, 8, 204),
+	Branchy("branchy_tight", SmallBench, 768, 256, 205),
+	Branchy("branchy_ctrl", BigBench, 4096, 2048, 206),
+	Phased("phased_mix", BigBench, 10240, 40_000, 207),
+	Adversarial("adversarial_l1", BigBench, 12, 1024, 208),
+}
+
+// Corpus returns the extension corpus (every non-paper workload) at the
+// default trace length.
+func Corpus() []Workload {
+	out := make([]Workload, len(corpusWorkloads))
+	for i, w := range corpusWorkloads {
+		w.Instructions = defaultInstructions
+		out[i] = w
+	}
+	return out
+}
+
+// Full returns the paper suite plus the extension corpus — the whole
+// registered workload corpus.
+func Full() []Workload {
+	return append(All(), Corpus()...)
+}

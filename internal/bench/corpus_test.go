@@ -1,0 +1,280 @@
+package bench
+
+import (
+	"testing"
+
+	"edcache/internal/trace"
+)
+
+func TestCorpusRegistration(t *testing.T) {
+	if len(Corpus()) < 5 {
+		t.Fatalf("corpus has %d workloads, want ≥ 5", len(Corpus()))
+	}
+	if got, want := len(Full()), len(All())+len(Corpus()); got != want {
+		t.Errorf("Full() has %d workloads, want %d", got, want)
+	}
+	patterns := map[Pattern]bool{}
+	names := map[string]bool{}
+	for _, w := range Full() {
+		if names[w.Name] {
+			t.Errorf("duplicate workload name %q", w.Name)
+		}
+		names[w.Name] = true
+		patterns[w.Pattern] = true
+		if w.Instructions <= 0 {
+			t.Errorf("%s: not scaled to a runnable length", w.Name)
+		}
+	}
+	// ≥ 5 distinct generator families beyond the paper's.
+	for _, p := range []Pattern{PatternPointerChase, PatternStencil, PatternBranchy, PatternPhased, PatternAdversarial} {
+		if !patterns[p] {
+			t.Errorf("no corpus workload registered with pattern %v", p)
+		}
+	}
+	// ByName resolves corpus members.
+	w, err := ByName("ptrchase_s")
+	if err != nil || w.Pattern != PatternPointerChase {
+		t.Errorf("ByName(ptrchase_s) = %+v, %v", w, err)
+	}
+}
+
+func TestCorpusSuiteInvariant(t *testing.T) {
+	// SmallBench membership keeps the paper's premise: the workload
+	// fits the 1 KB ULE way.
+	for _, w := range Corpus() {
+		if w.Suite == SmallBench && (w.DataBytes > 1024 || w.CodeBytes > 1024) {
+			t.Errorf("%s: SmallBench but footprint code=%dB data=%dB", w.Name, w.CodeBytes, w.DataBytes)
+		}
+	}
+}
+
+func TestCorpusStreamsDeterministicAndBounded(t *testing.T) {
+	for _, w := range Corpus() {
+		w := w.ScaledTo(20_000)
+		t.Run(w.Name, func(t *testing.T) {
+			a, b := w.Stream(), w.Stream()
+			n := 0
+			for {
+				ia, oka := a.Next()
+				ib, okb := b.Next()
+				if oka != okb {
+					t.Fatal("identical streams ended at different lengths")
+				}
+				if !oka {
+					break
+				}
+				if ia != ib {
+					t.Fatalf("instruction %d differs between identical streams", n)
+				}
+				if ia.PC < codeBase || ia.PC >= codeBase+uint32(w.CodeBytes) || ia.PC%4 != 0 {
+					t.Fatalf("instruction %d: PC %#x outside code footprint", n, ia.PC)
+				}
+				if ia.IsLoad || ia.IsStore {
+					if ia.Addr < dataBase || ia.Addr >= dataBase+uint32(w.DataBytes) {
+						t.Fatalf("instruction %d: address %#x outside working set", n, ia.Addr)
+					}
+				}
+				n++
+			}
+			if n != 20_000 {
+				t.Fatalf("stream length %d, want 20000", n)
+			}
+		})
+	}
+}
+
+func TestCorpusBatchMatchesScalar(t *testing.T) {
+	// NextBatch must observe the same sequence as Next, for every
+	// generator family and across odd batch boundaries.
+	for _, w := range Full() {
+		w := w.ScaledTo(5_000)
+		t.Run(w.Name, func(t *testing.T) {
+			scalar := w.Stream()
+			batch := w.Stream().(trace.BatchStream)
+			buf := make([]trace.Inst, 97)
+			got := 0
+			for {
+				n := batch.NextBatch(buf)
+				if n == 0 {
+					break
+				}
+				for i := 0; i < n; i++ {
+					want, ok := scalar.Next()
+					if !ok {
+						t.Fatalf("scalar stream ended early at %d", got)
+					}
+					if buf[i] != want {
+						t.Fatalf("instruction %d: batch %+v != scalar %+v", got, buf[i], want)
+					}
+					got++
+				}
+			}
+			if _, ok := scalar.Next(); ok {
+				t.Fatal("batch stream ended before scalar")
+			}
+			if got != 5_000 {
+				t.Fatalf("batched stream produced %d instructions", got)
+			}
+		})
+	}
+}
+
+func TestPointerChaseIsDependentChain(t *testing.T) {
+	w, err := ByName("ptrchase_s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := w.DataBytes / chaseNodeBytes
+	w = w.ScaledTo(nodes * w.CodeBytes) // enough iterations to close the cycle
+	s := w.Stream()
+	seen := map[uint32]bool{}
+	loads := 0
+	for {
+		inst, ok := s.Next()
+		if !ok {
+			break
+		}
+		if !inst.IsLoad {
+			continue
+		}
+		loads++
+		if inst.UseDist != 1 {
+			t.Fatalf("chase load with UseDist %d, want 1 (dependent chain)", inst.UseDist)
+		}
+		seen[inst.Addr] = true
+	}
+	if loads == 0 {
+		t.Fatal("no loads generated")
+	}
+	// A single-cycle permutation must visit every node.
+	if len(seen) != nodes {
+		t.Errorf("chase visited %d distinct nodes, want %d (not a full cycle)", len(seen), nodes)
+	}
+}
+
+func TestStencilStreamsSequentially(t *testing.T) {
+	w, err := ByName("stencil_dsp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = w.ScaledTo(8_000)
+	s := w.Stream()
+	var stores []uint32
+	for {
+		inst, ok := s.Next()
+		if !ok {
+			break
+		}
+		if inst.IsStore {
+			stores = append(stores, inst.Addr)
+		}
+	}
+	if len(stores) < 100 {
+		t.Fatalf("only %d stores", len(stores))
+	}
+	outBase := uint32(dataBase + w.DataBytes/2)
+	for i := 1; i < len(stores); i++ {
+		if stores[i] != stores[i-1]+uint32(w.StrideBytes) && stores[i] != outBase {
+			t.Fatalf("store %d at %#x does not stream from %#x", i, stores[i], stores[i-1])
+		}
+	}
+}
+
+func TestBranchyIsBranchHeavy(t *testing.T) {
+	w, err := ByName("branchy_ctrl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = w.ScaledTo(40_000)
+	s := w.Stream()
+	branches, taken, n := 0, 0, 0
+	for {
+		inst, ok := s.Next()
+		if !ok {
+			break
+		}
+		n++
+		if inst.IsBranch {
+			branches++
+			if inst.Taken {
+				taken++
+			}
+		}
+	}
+	if frac := float64(branches) / float64(n); frac < 0.2 {
+		t.Errorf("branch fraction %.3f, want ≥ 0.2 (control-heavy)", frac)
+	}
+	// Loop trip counts guarantee both outcomes appear in bulk.
+	if taken == 0 || taken == branches {
+		t.Errorf("degenerate taken pattern: %d/%d", taken, branches)
+	}
+}
+
+func TestPhasedShiftsWorkingSetAndCodeRegion(t *testing.T) {
+	w, err := ByName("phased_mix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.PhaseInsts = 5_000
+	w = w.ScaledTo(w.PhaseInsts * phaseCount)
+	s := w.Stream()
+	footprint := make([]map[uint32]bool, phaseCount)
+	pcs := make([]map[uint32]bool, phaseCount)
+	for p := range footprint {
+		footprint[p] = map[uint32]bool{}
+		pcs[p] = map[uint32]bool{}
+	}
+	for i := 0; ; i++ {
+		inst, ok := s.Next()
+		if !ok {
+			break
+		}
+		p := i / w.PhaseInsts
+		if inst.IsLoad || inst.IsStore {
+			footprint[p][inst.Addr&^63] = true // 64 B granules
+		}
+		pcs[p][inst.PC] = true
+	}
+	// Phase 0 is the hot-reuse phase (1/8 footprint), phase 1 streams
+	// the full footprint: the touched granule counts must differ
+	// sharply — the working-set shift.
+	if len(footprint[1]) < 4*len(footprint[0]) {
+		t.Errorf("phase footprints %d vs %d granules: no working-set shift", len(footprint[0]), len(footprint[1]))
+	}
+	// Each phase must execute in its own code region (the annotation).
+	for p := 0; p < phaseCount; p++ {
+		region := uint32(w.CodeBytes / phaseCount)
+		base := codeBase + uint32(p)*region
+		for pc := range pcs[p] {
+			if pc < base || pc >= base+region {
+				t.Fatalf("phase %d executed PC %#x outside its region [%#x, %#x)", p, pc, base, base+region)
+			}
+		}
+	}
+}
+
+func TestAdversarialMapsToOneSet(t *testing.T) {
+	w, err := ByName("adversarial_l1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = w.ScaledTo(10_000)
+	s := w.Stream()
+	distinct := map[uint32]bool{}
+	for {
+		inst, ok := s.Next()
+		if !ok {
+			break
+		}
+		if inst.IsLoad || inst.IsStore {
+			if inst.Addr%uint32(w.StrideBytes) != 0 {
+				t.Fatalf("address %#x not set-stride aligned", inst.Addr)
+			}
+			distinct[inst.Addr] = true
+		}
+	}
+	// More distinct conflicting lines than the paper L1's 8 ways.
+	if len(distinct) <= 8 {
+		t.Errorf("only %d conflicting lines, want > 8 (must exceed associativity)", len(distinct))
+	}
+}

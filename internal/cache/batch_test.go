@@ -1,0 +1,51 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestAccessBatchMatchesAccess verifies the batch entry point's
+// contract: identical state transitions and results to a scalar loop.
+func TestAccessBatchMatchesAccess(t *testing.T) {
+	cfg := Config{Sets: 16, Ways: 4, LineBytes: 32}
+	a, b := MustNew(cfg), MustNew(cfg)
+	rng := rand.New(rand.NewSource(7))
+
+	ops := make([]Op, 10_000)
+	for i := range ops {
+		ops[i] = Op{Addr: uint32(rng.Intn(1 << 14)), Write: rng.Intn(4) == 0}
+	}
+	res := make([]Result, len(ops))
+	// Batch in uneven slabs so slab boundaries are exercised.
+	for start := 0; start < len(ops); {
+		end := start + 1 + rng.Intn(700)
+		if end > len(ops) {
+			end = len(ops)
+		}
+		a.AccessBatch(ops[start:end], res[start:end])
+		start = end
+	}
+	for i, op := range ops {
+		want := b.Access(op.Addr, op.Write)
+		if res[i] != want {
+			t.Fatalf("op %d (%+v): batch result %+v != scalar %+v", i, op, res[i], want)
+		}
+	}
+	// Final states must agree too.
+	for addr := uint32(0); addr < 1<<14; addr += 32 {
+		if a.Contains(addr) != b.Contains(addr) {
+			t.Fatalf("state diverged at %#x", addr)
+		}
+	}
+}
+
+func TestAccessBatchShortResultBufferPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("short result buffer did not panic")
+		}
+	}()
+	c := MustNew(Config{Sets: 4, Ways: 2, LineBytes: 32})
+	c.AccessBatch(make([]Op, 4), make([]Result, 2))
+}

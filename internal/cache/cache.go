@@ -173,6 +173,26 @@ func (c *Cache) Access(addr uint32, write bool) Result {
 	return res
 }
 
+// Op is one access of a batch.
+type Op struct {
+	Addr  uint32
+	Write bool
+}
+
+// AccessBatch performs the ops in order, writing the i-th access's
+// outcome into res[i]. It is semantically identical to calling Access in
+// a loop — same state transitions, same results — but hot replay loops
+// pay one call per chunk instead of one dynamic dispatch per access,
+// which is what the cpu package's batched fast path relies on.
+func (c *Cache) AccessBatch(ops []Op, res []Result) {
+	if len(res) < len(ops) {
+		panic(fmt.Sprintf("cache: AccessBatch result buffer %d too small for %d ops", len(res), len(ops)))
+	}
+	for i, op := range ops {
+		res[i] = c.Access(op.Addr, op.Write)
+	}
+}
+
 // Contains reports whether the address currently hits (without touching
 // LRU state) — a test and debugging helper.
 func (c *Cache) Contains(addr uint32) bool {

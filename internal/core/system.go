@@ -225,14 +225,9 @@ type port struct {
 	writeHitHP, writeHitULE uint64
 }
 
-// Access implements cpu.Port.
-func (p *port) Access(addr uint32, write bool) bool {
-	if write {
-		p.writes++
-	} else {
-		p.reads++
-	}
-	res := p.sim.Access(addr, write)
+// tally folds one access outcome into the port's event counters and
+// reports whether it missed.
+func (p *port) tally(res cache.Result, write bool) (miss bool) {
 	ule := res.Way >= p.hpWays
 	if res.Hit {
 		if write {
@@ -266,6 +261,30 @@ func (p *port) Access(addr uint32, write bool) bool {
 		}
 	}
 	return true
+}
+
+// Access implements cpu.Port.
+func (p *port) Access(addr uint32, write bool) bool {
+	if write {
+		p.writes++
+	} else {
+		p.reads++
+	}
+	return p.tally(p.sim.Access(addr, write), write)
+}
+
+// AccessBatch implements cpu.BatchPort: one call per instruction chunk,
+// one loop over the concrete cache — no dynamic dispatch per access.
+// Behaviour is identical to calling Access for each op in order.
+func (p *port) AccessBatch(ops []cpu.PortOp, miss []bool) {
+	for i, op := range ops {
+		if op.Write {
+			p.writes++
+		} else {
+			p.reads++
+		}
+		miss[i] = p.tally(p.sim.Access(op.Addr, op.Write), op.Write)
+	}
 }
 
 // ExtraHitLatency implements cpu.Port.

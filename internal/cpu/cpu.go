@@ -36,6 +36,21 @@ type Port interface {
 	ExtraHitLatency() int
 }
 
+// PortOp is one access of a batched port request.
+type PortOp struct {
+	Addr  uint32
+	Write bool
+}
+
+// BatchPort is an optional Port extension for bulk access: one call
+// covers a whole instruction chunk, replacing per-instruction dynamic
+// dispatch. AccessBatch must behave exactly like calling Access for
+// each op in order, setting miss[i] to the i-th outcome.
+type BatchPort interface {
+	Port
+	AccessBatch(ops []PortOp, miss []bool)
+}
+
 // Config is the core's timing configuration.
 type Config struct {
 	// MemLatency is the memory access penalty in cycles; the paper uses
@@ -78,13 +93,34 @@ func (s Stats) CPI() float64 {
 	return float64(s.Cycles) / float64(s.Instructions)
 }
 
+// batchSize is the chunk length of the batched replay path: large
+// enough to amortise the per-chunk calls, small enough that the three
+// scratch buffers stay cache-resident (~64 KB).
+const batchSize = 4096
+
 // Run replays the stream through the core and returns the run's stats.
+//
+// When the stream implements trace.BatchStream and both ports implement
+// BatchPort, Run processes instructions in chunks: one NextBatch call
+// per chunk and one AccessBatch call per cache instead of three dynamic
+// dispatches per instruction. The batched path produces bit-identical
+// Stats because each cache still sees its own access sequence in
+// program order — IL1 and DL1 are independent state, so interleaving
+// between them never affects either. (Ports therefore must not share
+// mutable state with each other, which no in-tree port does.)
 func Run(cfg Config, il1, dl1 Port, s trace.Stream) (Stats, error) {
 	if err := cfg.Validate(); err != nil {
 		return Stats{}, err
 	}
 	if il1 == nil || dl1 == nil {
 		return Stats{}, fmt.Errorf("cpu: nil cache port")
+	}
+	if bs, ok := s.(trace.BatchStream); ok {
+		bi, okI := il1.(BatchPort)
+		bd, okD := dl1.(BatchPort)
+		if okI && okD {
+			return runBatched(cfg, bi, bd, bs), nil
+		}
 	}
 	var st Stats
 	dExtra := dl1.ExtraHitLatency()
@@ -137,4 +173,84 @@ func Run(cfg Config, il1, dl1 Port, s trace.Stream) (Stats, error) {
 		}
 	}
 	return st, nil
+}
+
+// runBatched is the chunked fast path of Run: per chunk it performs all
+// instruction fetches as one IL1 batch, all data accesses (in program
+// order) as one DL1 batch, then walks the chunk accumulating timing.
+func runBatched(cfg Config, il1, dl1 BatchPort, s trace.BatchStream) Stats {
+	var st Stats
+	dExtra := dl1.ExtraHitLatency()
+	mem := uint64(cfg.MemLatency)
+
+	insts := make([]trace.Inst, batchSize)
+	iops := make([]PortOp, batchSize)
+	imiss := make([]bool, batchSize)
+	dops := make([]PortOp, 0, batchSize)
+	dmiss := make([]bool, batchSize)
+
+	for {
+		n := s.NextBatch(insts)
+		if n == 0 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			iops[i] = PortOp{Addr: insts[i].PC}
+		}
+		il1.AccessBatch(iops[:n], imiss[:n])
+
+		dops = dops[:0]
+		for i := 0; i < n; i++ {
+			if insts[i].IsLoad {
+				dops = append(dops, PortOp{Addr: insts[i].Addr})
+			} else if insts[i].IsStore {
+				dops = append(dops, PortOp{Addr: insts[i].Addr, Write: true})
+			}
+		}
+		dl1.AccessBatch(dops, dmiss[:len(dops)])
+
+		d := 0
+		for i := 0; i < n; i++ {
+			inst := &insts[i]
+			st.Instructions++
+			st.Cycles++ // issue slot
+			st.IAccesses++
+			if imiss[i] {
+				st.IMisses++
+				st.Cycles += mem
+				st.MissCycles += mem
+			}
+			switch {
+			case inst.IsLoad:
+				st.Loads++
+				st.DAccesses++
+				if dmiss[d] {
+					st.DMisses++
+					st.Cycles += mem
+					st.MissCycles += mem
+				} else if dExtra > 0 && inst.UseDist > 0 {
+					if stall := 1 + dExtra - int(inst.UseDist); stall > 0 {
+						st.Cycles += uint64(stall)
+						st.LoadUseStalls += uint64(stall)
+					}
+				}
+				d++
+			case inst.IsStore:
+				st.Stores++
+				st.DAccesses++
+				if dmiss[d] {
+					st.DMisses++
+					st.Cycles += mem
+					st.MissCycles += mem
+				}
+				d++
+			case inst.IsBranch:
+				st.Branches++
+				if inst.Taken {
+					st.TakenBranches++
+				}
+			}
+		}
+	}
+	return st
 }

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"edcache/internal/bench"
+	"edcache/internal/cache"
+	"edcache/internal/core"
+	"edcache/internal/sim"
+	"edcache/internal/trace"
+)
+
+// corpusExperiment sweeps the full workload corpus — the paper's ten
+// MediaBench-like kernels plus the extension generators (pointer
+// chasing, stencils, branch-heavy control, phased working sets, the
+// conflict adversary) — across both scenarios and both operating
+// modes: EPI for baseline and proposed, miss rates, and the ULE-mode
+// slowdown from the EDC pipeline stage. The grid fans out on the
+// engine, so the whole corpus runs concurrently with the
+// workers-invariant determinism contract intact.
+func corpusExperiment(o Options) sim.Experiment {
+	systems := newSharedSystems()
+	return sim.Def{
+		ExpName: "corpus",
+		Desc:    "corpus-wide sweep — EPI, miss rates and ULE slowdown for every registered workload, both scenarios and modes",
+		GridFn: func() []sim.Task {
+			var tasks []sim.Task
+			for _, s := range scenarios {
+				for _, m := range []core.Mode{core.ModeHP, core.ModeULE} {
+					for _, w := range bench.Full() {
+						tasks = append(tasks, sim.Task{
+							Label: fmt.Sprintf("scenario=%v %v %s", s, m, w.Name),
+							Params: sim.P("scenario", s.String(), "mode", m.String(),
+								"workload", w.Name, "suite", w.Suite.String(), "pattern", w.Pattern.String()),
+						})
+					}
+				}
+			}
+			return tasks
+		},
+		RunFn: func(t sim.Task, _ *rand.Rand) (sim.Result, error) {
+			s, err := taskScenario(t)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			m, err := modeByName(t.Params["mode"])
+			if err != nil {
+				return sim.Result{}, err
+			}
+			w, err := workloadByName(t.Params["workload"], o.Instructions)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			base, prop, err := systems.get(s)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			rb, err := base.Run(w, m)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			rp, err := prop.Run(w, m)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			p := core.Pair{Workload: w.Name, Base: rb, Prop: rp}
+			ms := []sim.Metric{
+				sim.NumU("base_epi", rb.EPI.Total(), "pJ/i"),
+				sim.NumU("prop_epi", rp.EPI.Total(), "pJ/i"),
+				sim.Fmt("saving", p.SavingPct(), "%.1f%%"),
+				sim.Fmt("time_increase", p.TimeIncreasePct(), "%.2f%%"),
+				sim.Fmt("il1_miss", 100*float64(rp.Stats.IMisses)/float64(rp.Stats.IAccesses), "%.3f%%"),
+				sim.Fmt("dl1_miss", 100*float64(rp.Stats.DMisses)/float64(rp.Stats.DAccesses), "%.3f%%"),
+				sim.Fmt("cpi", rp.Stats.CPI(), "%.3f"),
+			}
+			return sim.Result{Metrics: ms, Data: p}, nil
+		},
+		FinishFn: func(results []sim.Result) ([]sim.Result, error) {
+			// Corpus-wide averages per (scenario, mode), aggregated with
+			// the library's own summariser so every experiment shares one
+			// averaging convention.
+			out := results
+			for _, s := range scenarios {
+				for _, m := range []core.Mode{core.ModeHP, core.ModeULE} {
+					var pairs []core.Pair
+					for _, r := range results {
+						if r.Task.Params["scenario"] != s.String() || r.Task.Params["mode"] != m.String() {
+							continue
+						}
+						if p, ok := r.Data.(core.Pair); ok {
+							pairs = append(pairs, p)
+						}
+					}
+					if len(pairs) == 0 {
+						continue
+					}
+					sum := core.Summarize(s, m, pairs)
+					out = append(out, sim.Result{
+						Task: sim.Task{
+							ID:     len(out),
+							Label:  fmt.Sprintf("scenario=%v %v corpus average", s, m),
+							Params: sim.P("scenario", s.String(), "mode", m.String(), "workload", "average"),
+						},
+						Metrics: []sim.Metric{
+							sim.Fmt("avg_saving", sum.AvgSavingPct, "%.1f%%"),
+							sim.Fmt("avg_time_increase", sum.AvgTimeIncreasePct, "%.2f%%"),
+						},
+					})
+				}
+			}
+			return out, nil
+		},
+	}
+}
+
+// corpusMissExperiment characterises every corpus workload's data-side
+// locality on the raw cache simulator: DL1 miss rate as capacity grows
+// from the 1 KB ULE way to the full 8 KB cache (ways 1, 2, 4, 8). The
+// sweep separates capacity misses (vanish with ways) from the
+// adversary's conflict misses (they never do) and runs on the batched
+// cache entry point — no energy model, so the full grid is cheap.
+func corpusMissExperiment(o Options) sim.Experiment {
+	ways := []int{1, 2, 4, 8}
+	return sim.Def{
+		ExpName: "corpus-miss",
+		Desc:    "corpus locality sweep — DL1 miss rate vs cache capacity (1-8 ways) for every registered workload",
+		GridFn: func() []sim.Task {
+			var tasks []sim.Task
+			for _, w := range bench.Full() {
+				for _, k := range ways {
+					tasks = append(tasks, sim.Task{
+						Label: fmt.Sprintf("%s ways=%d", w.Name, k),
+						Params: sim.P("workload", w.Name, "ways", strconv.Itoa(k),
+							"suite", w.Suite.String(), "pattern", w.Pattern.String()),
+					})
+				}
+			}
+			return tasks
+		},
+		RunFn: func(t sim.Task, _ *rand.Rand) (sim.Result, error) {
+			k, err := strconv.Atoi(t.Params["ways"])
+			if err != nil {
+				return sim.Result{}, err
+			}
+			w, err := workloadByName(t.Params["workload"], o.Instructions)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			dl1, err := cache.New(cache.Config{Sets: 32, Ways: k, LineBytes: 32})
+			if err != nil {
+				return sim.Result{}, err
+			}
+			refs, misses := replayDataRefs(w.Stream(), dl1)
+			if refs == 0 {
+				return sim.Result{}, fmt.Errorf("experiments: %s produced no memory references", w.Name)
+			}
+			return sim.Result{Metrics: []sim.Metric{
+				sim.NumU("capacity", float64(dl1.Config().SizeBytes()), "B"),
+				sim.Num("refs", float64(refs)),
+				sim.Fmt("miss_rate", 100*float64(misses)/float64(refs), "%.3f%%"),
+			}}, nil
+		},
+	}
+}
+
+// replayDataRefs streams a workload's loads and stores through one
+// cache via the batched entry point and counts misses.
+func replayDataRefs(s trace.Stream, c *cache.Cache) (refs, misses int) {
+	const chunk = 4096
+	insts := make([]trace.Inst, chunk)
+	ops := make([]cache.Op, 0, chunk)
+	res := make([]cache.Result, chunk)
+	for {
+		n := trace.Fill(s, insts)
+		if n == 0 {
+			return refs, misses
+		}
+		ops = ops[:0]
+		for i := 0; i < n; i++ {
+			if insts[i].IsLoad || insts[i].IsStore {
+				ops = append(ops, cache.Op{Addr: insts[i].Addr, Write: insts[i].IsStore})
+			}
+		}
+		c.AccessBatch(ops, res[:len(ops)])
+		refs += len(ops)
+		for i := range ops {
+			if !res[i].Hit {
+				misses++
+			}
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+
+	"edcache/internal/bench"
+	"edcache/internal/sim"
+)
+
+// TestCorpusSweepCoversFullCorpus pins the corpus experiment to the
+// registered workload set: every workload of bench.Full() appears in
+// both modes and scenarios, and the Finish hook adds corpus averages.
+func TestCorpusSweepCoversFullCorpus(t *testing.T) {
+	e := corpusExperiment(tinyOptions())
+	grid := e.Grid()
+	if want := 2 * 2 * len(bench.Full()); len(grid) != want {
+		t.Fatalf("corpus grid has %d tasks, want %d (scenarios × modes × workloads)", len(grid), want)
+	}
+	res, err := sim.Runner{Workers: 8, Seed: 3}.Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	averages := 0
+	for _, r := range res {
+		if r.Task.Params["workload"] == "average" {
+			averages++
+			if _, ok := r.Metric("avg_saving"); !ok {
+				t.Errorf("average row %q missing avg_saving", r.Task.Label)
+			}
+		}
+	}
+	if averages != 4 {
+		t.Errorf("got %d corpus-average rows, want 4 (scenario × mode)", averages)
+	}
+	// At ULE mode the proposed design's extra hit cycle must show up as
+	// a positive slowdown for the dependent-load adversary.
+	for _, r := range res {
+		if r.Task.Params["workload"] == "ptrchase_s" && r.Task.Params["mode"] == "ULE" {
+			m, ok := r.Metric("time_increase")
+			if !ok || m.Value <= 0 {
+				t.Errorf("%s: pointer chase at ULE shows no EDC slowdown (%+v)", r.Task.Label, m)
+			}
+		}
+	}
+}
+
+// TestCorpusMissSweep checks the locality sweep's physics: miss rate is
+// non-increasing in capacity for every workload, and the conflict
+// adversary stays ~100 % missing even at full capacity while fitting
+// workloads drop to near zero.
+func TestCorpusMissSweep(t *testing.T) {
+	o := tinyOptions()
+	o.Instructions = 30_000 // long enough for steady state past warm-up
+	res, err := sim.Runner{Workers: 8, Seed: 3}.Run(corpusMissExperiment(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	miss := map[string]map[int]float64{}
+	for _, r := range res {
+		w := r.Task.Params["workload"]
+		k, err := strconv.Atoi(r.Task.Params["ways"])
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, ok := r.Metric("miss_rate")
+		if !ok {
+			t.Fatalf("%s: no miss_rate metric", r.Task.Label)
+		}
+		if miss[w] == nil {
+			miss[w] = map[int]float64{}
+		}
+		miss[w][k] = m.Value
+	}
+	for w, byWays := range miss {
+		if byWays[1]+1e-9 < byWays[8] {
+			t.Errorf("%s: miss rate grows with capacity (%.3f%% @1 way, %.3f%% @8 ways)", w, byWays[1], byWays[8])
+		}
+	}
+	if m := miss["adversarial_l1"][8]; m < 95 {
+		t.Errorf("adversary misses %.1f%% at full capacity, want ≥ 95%% (conflict, not capacity)", m)
+	}
+	if m := miss["adpcm_c"][8]; m > 5 {
+		t.Errorf("adpcm_c misses %.1f%% at full capacity, want near zero", m)
+	}
+}

@@ -71,6 +71,8 @@ func RegisterAll(r *sim.Registry, o Options) {
 	r.MustRegister(sweepVoltageExperiment())
 	r.MustRegister(sweepYieldExperiment())
 	r.MustRegister(mcSamplingExperiment(o))
+	r.MustRegister(corpusExperiment(o))
+	r.MustRegister(corpusMissExperiment(o))
 }
 
 // scenarios is the evaluation order of the paper's two reliability

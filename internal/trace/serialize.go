@@ -5,27 +5,87 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 )
 
-// Binary trace format: a 12-byte header (magic, version, count) followed
-// by fixed-width 12-byte records. The format exists so traces can be
-// generated once (cmd/tracegen), archived, and replayed byte-identically
-// against any configuration — the workflow the paper's MPSim + binary
-// setup implies.
+// Binary trace formats. The layouts are specified normatively in
+// docs/TRACEFORMAT.md; this file implements the common record codec and
+// the v1 (flat) container, serialize_v2.go the v2 (chunked, optionally
+// compressed) container. The formats exist so traces can be generated
+// once (cmd/tracegen), archived, and replayed byte-identically against
+// any configuration — the workflow the paper's MPSim + binary setup
+// implies.
 const (
-	traceMagic   = 0x45444354 // "EDCT"
-	traceVersion = 1
+	traceMagic     = 0x45444354 // "TCDE" on disk (little-endian "EDCT")
+	traceVersionV1 = 1
+	traceVersionV2 = 2
+
+	recordBytes = 12
 )
 
-// Record flags.
+// Record flags. Bits 4-7 are reserved and must be zero; readers reject
+// records that set them (a set reserved bit means a corrupt file or a
+// format revision this reader does not understand).
 const (
 	flagLoad   = 1 << 0
 	flagStore  = 1 << 1
 	flagBranch = 1 << 2
 	flagTaken  = 1 << 3
+
+	flagKnown = flagLoad | flagStore | flagBranch | flagTaken
 )
 
-// Write serialises the full stream to w and returns the record count.
+// maxV1Records is the largest stream a v1 file can carry: the v1
+// trailer stores the record count as a uint32. It is a variable only so
+// the overflow path is testable without writing 2^32 records.
+var maxV1Records uint64 = math.MaxUint32
+
+// encodeRecord serialises one instruction into a 12-byte record.
+func encodeRecord(rec []byte, inst Inst) {
+	binary.LittleEndian.PutUint32(rec[0:4], inst.PC)
+	binary.LittleEndian.PutUint32(rec[4:8], inst.Addr)
+	var flags byte
+	if inst.IsLoad {
+		flags |= flagLoad
+	}
+	if inst.IsStore {
+		flags |= flagStore
+	}
+	if inst.IsBranch {
+		flags |= flagBranch
+	}
+	if inst.Taken {
+		flags |= flagTaken
+	}
+	rec[8] = flags
+	rec[9] = inst.UseDist
+	rec[10], rec[11] = 0, 0
+}
+
+// decodeRecord deserialises one 12-byte record, rejecting reserved flag
+// bits.
+func decodeRecord(rec []byte) (Inst, error) {
+	flags := rec[8]
+	if flags&^byte(flagKnown) != 0 {
+		return Inst{}, fmt.Errorf("trace: unknown record flag bits %#02x", flags&^byte(flagKnown))
+	}
+	return Inst{
+		PC:       binary.LittleEndian.Uint32(rec[0:4]),
+		Addr:     binary.LittleEndian.Uint32(rec[4:8]),
+		IsLoad:   flags&flagLoad != 0,
+		IsStore:  flags&flagStore != 0,
+		IsBranch: flags&flagBranch != 0,
+		Taken:    flags&flagTaken != 0,
+		UseDist:  rec[9],
+	}, nil
+}
+
+// Write serialises the full stream to w in format v1 (flat records, a
+// 4-byte count trailer) and returns the record count. v1 is kept for
+// compatibility with existing archives; new traces should use WriteV2,
+// which streams in bounded memory on both ends and compresses. Streams
+// with 2^32 or more records do not fit the v1 trailer and are rejected
+// with an error (use WriteV2).
 func Write(w io.Writer, s Stream) (int, error) {
 	bw := bufio.NewWriter(w)
 	// The record count lives in a 4-byte *trailer* rather than the
@@ -33,57 +93,52 @@ func Write(w io.Writer, s Stream) (int, error) {
 	// io.Writer (streams don't know their length up front).
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], traceMagic)
-	binary.LittleEndian.PutUint32(hdr[4:8], traceVersion)
+	binary.LittleEndian.PutUint32(hdr[4:8], traceVersionV1)
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return 0, err
 	}
-	count := 0
-	var rec [12]byte
+	var count uint64
+	var rec [recordBytes]byte
 	for {
 		inst, ok := s.Next()
 		if !ok {
 			break
 		}
-		binary.LittleEndian.PutUint32(rec[0:4], inst.PC)
-		binary.LittleEndian.PutUint32(rec[4:8], inst.Addr)
-		var flags byte
-		if inst.IsLoad {
-			flags |= flagLoad
+		if count >= maxV1Records {
+			return int(count), fmt.Errorf("trace: stream exceeds %d records, too long for format v1 (use WriteV2)", maxV1Records)
 		}
-		if inst.IsStore {
-			flags |= flagStore
-		}
-		if inst.IsBranch {
-			flags |= flagBranch
-		}
-		if inst.Taken {
-			flags |= flagTaken
-		}
-		rec[8] = flags
-		rec[9] = inst.UseDist
-		rec[10], rec[11] = 0, 0
+		encodeRecord(rec[:], inst)
 		if _, err := bw.Write(rec[:]); err != nil {
-			return count, err
+			return int(count), err
 		}
 		count++
 	}
 	var trailer [4]byte
 	binary.LittleEndian.PutUint32(trailer[:], uint32(count))
 	if _, err := bw.Write(trailer[:]); err != nil {
-		return count, err
+		return int(count), err
 	}
-	return count, bw.Flush()
+	return int(count), bw.Flush()
 }
 
-// Reader replays a serialised trace as a Stream.
+// Reader replays a serialised trace as a Stream. It reads v1 and v2
+// files transparently (NewReader sniffs the header version) and never
+// materialises the full trace: v1 is decoded record by record, v2 chunk
+// by chunk, so multi-million-instruction traces replay in constant
+// memory. Reader also implements BatchStream for the replay fast path.
 type Reader struct {
-	br   *bufio.Reader
-	err  error
-	done bool
-	read uint32 // records streamed so far, checked against the trailer
+	version int
+	err     error
+	done    bool
+	read    uint64 // records streamed so far, checked against the trailer
+
+	br *bufio.Reader // v1: record source; v2: raw (pre-decompression) source
+
+	v2 *readerV2 // nil for v1 files
 }
 
-// NewReader validates the header and returns a replaying stream.
+// NewReader validates the header and returns a replaying stream for a
+// v1 or v2 trace file.
 func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReader(r)
 	var hdr [8]byte
@@ -93,27 +148,53 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if binary.LittleEndian.Uint32(hdr[0:4]) != traceMagic {
 		return nil, fmt.Errorf("trace: bad magic %#x", binary.LittleEndian.Uint32(hdr[0:4]))
 	}
-	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != traceVersion {
+	rd := &Reader{br: br}
+	switch v := binary.LittleEndian.Uint32(hdr[4:8]); v {
+	case traceVersionV1:
+		rd.version = traceVersionV1
+	case traceVersionV2:
+		rd.version = traceVersionV2
+		v2, err := newReaderV2(br)
+		if err != nil {
+			return nil, err
+		}
+		rd.v2 = v2
+	default:
 		return nil, fmt.Errorf("trace: unsupported version %d", v)
 	}
-	return &Reader{br: br}, nil
+	return rd, nil
 }
 
-// Next implements Stream. The 12-byte records are distinguished from the
-// 4-byte trailer by read length: a full record keeps streaming, a short
-// tail ends the trace.
+// Version reports the format version of the file being read (1 or 2).
+func (r *Reader) Version() int { return r.version }
+
+// Compressed reports whether the file's body is gzip-compressed (always
+// false for v1).
+func (r *Reader) Compressed() bool { return r.v2 != nil && r.v2.compressed }
+
+// Next implements Stream.
 func (r *Reader) Next() (Inst, bool) {
 	if r.done || r.err != nil {
 		return Inst{}, false
 	}
-	var rec [12]byte
+	if r.v2 != nil {
+		return r.nextV2()
+	}
+	return r.nextV1()
+}
+
+// nextV1 decodes one flat v1 record. The 12-byte records are
+// distinguished from the 4-byte trailer by read length: a full record
+// keeps streaming, a short tail ends the trace.
+func (r *Reader) nextV1() (Inst, bool) {
+	var rec [recordBytes]byte
 	n, err := io.ReadFull(r.br, rec[:])
 	if err != nil {
 		r.done = true
 		if n == 4 {
 			// The 4-byte trailer: validate the record count so a
 			// truncated file cannot pass silently.
-			if count := binary.LittleEndian.Uint32(rec[0:4]); count != r.read {
+			if count := binary.LittleEndian.Uint32(rec[0:4]); uint64(count) != r.read {
 				r.err = fmt.Errorf("trace: trailer count %d, streamed %d records (truncated file?)", count, r.read)
 			}
 			return Inst{}, false
@@ -125,17 +206,25 @@ func (r *Reader) Next() (Inst, bool) {
 		}
 		return Inst{}, false
 	}
+	inst, err := decodeRecord(rec[:])
+	if err != nil {
+		r.done = true
+		r.err = fmt.Errorf("%w (record %d)", err, r.read)
+		return Inst{}, false
+	}
 	r.read++
-	flags := rec[8]
-	return Inst{
-		PC:       binary.LittleEndian.Uint32(rec[0:4]),
-		Addr:     binary.LittleEndian.Uint32(rec[4:8]),
-		IsLoad:   flags&flagLoad != 0,
-		IsStore:  flags&flagStore != 0,
-		IsBranch: flags&flagBranch != 0,
-		Taken:    flags&flagTaken != 0,
-		UseDist:  rec[9],
-	}, true
+	return inst, true
+}
+
+// NextBatch implements BatchStream: it fills buf with up to len(buf)
+// consecutive instructions and returns how many were produced. For v2
+// files the records are decoded straight out of the chunk buffer with
+// no per-instruction indirection.
+func (r *Reader) NextBatch(buf []Inst) int {
+	if r.v2 != nil {
+		return r.nextBatchV2(buf)
+	}
+	return fillFromNext(r.Next, buf)
 }
 
 // Err reports a non-EOF read failure encountered during streaming.

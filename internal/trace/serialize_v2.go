@@ -1,0 +1,267 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Format v2 container (see docs/TRACEFORMAT.md for the normative spec):
+// a 16-byte self-describing header followed by a body of chunks, where
+// the body is optionally one gzip stream. Each chunk is a 4-byte record
+// count n > 0 followed by n 12-byte records; a count of 0 terminates
+// the body and is followed by an 8-byte total-record-count trailer.
+// Chunking bounds both writer and reader memory to one chunk, so
+// arbitrarily long traces stream through pipes, sockets and compressed
+// files without ever being materialised.
+const (
+	// v2 header stream-flag bits. Unknown bits are rejected on read.
+	v2FlagGzip  = 1 << 0
+	v2FlagKnown = v2FlagGzip
+
+	// DefaultChunkRecords is the writer's default chunk granularity:
+	// big enough to amortise per-chunk overhead and give gzip useful
+	// windows, small enough that a chunk is ~96 KB of buffer.
+	DefaultChunkRecords = 8192
+
+	// MaxChunkRecords bounds the chunk size a reader will allocate for,
+	// so a corrupt or hostile header cannot demand an absurd buffer.
+	MaxChunkRecords = 1 << 20
+)
+
+// V2Options configures WriteV2.
+type V2Options struct {
+	// Compress gzips the body (header stays plain so Version/flags are
+	// readable without decompression).
+	Compress bool
+	// ChunkRecords is the number of records per chunk; 0 means
+	// DefaultChunkRecords.
+	ChunkRecords int
+}
+
+func (o V2Options) chunkRecords() (int, error) {
+	c := o.ChunkRecords
+	if c == 0 {
+		c = DefaultChunkRecords
+	}
+	if c < 1 || c > MaxChunkRecords {
+		return 0, fmt.Errorf("trace: chunk size %d outside [1, %d]", c, MaxChunkRecords)
+	}
+	return c, nil
+}
+
+// WriteV2 serialises the full stream to w in format v2 and returns the
+// record count. Memory use is bounded by one chunk regardless of the
+// stream length; if s implements BatchStream the chunk buffer is filled
+// in bulk. Unlike v1 there is no practical length limit (the trailer is
+// 64-bit).
+func WriteV2(w io.Writer, s Stream, o V2Options) (int64, error) {
+	chunkRecs, err := o.chunkRecords()
+	if err != nil {
+		return 0, err
+	}
+	bw := bufio.NewWriter(w)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], traceMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], traceVersionV2)
+	var flags uint32
+	if o.Compress {
+		flags |= v2FlagGzip
+	}
+	binary.LittleEndian.PutUint32(hdr[8:12], flags)
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(chunkRecs))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+
+	var body io.Writer = bw
+	var gz *gzip.Writer
+	if o.Compress {
+		gz = gzip.NewWriter(bw)
+		body = gz
+	}
+
+	insts := make([]Inst, chunkRecs)
+	raw := make([]byte, 4+chunkRecs*recordBytes)
+	var total int64
+	for {
+		n := Fill(s, insts)
+		if n == 0 {
+			break
+		}
+		binary.LittleEndian.PutUint32(raw[0:4], uint32(n))
+		for i := 0; i < n; i++ {
+			encodeRecord(raw[4+i*recordBytes:], insts[i])
+		}
+		if _, err := body.Write(raw[:4+n*recordBytes]); err != nil {
+			return total, err
+		}
+		total += int64(n)
+	}
+	var end [12]byte // 4-byte zero count + 8-byte total trailer
+	binary.LittleEndian.PutUint64(end[4:12], uint64(total))
+	if _, err := body.Write(end[:]); err != nil {
+		return total, err
+	}
+	if gz != nil {
+		if err := gz.Close(); err != nil {
+			return total, err
+		}
+	}
+	return total, bw.Flush()
+}
+
+// readerV2 holds the v2-specific decoding state of a Reader.
+type readerV2 struct {
+	body       io.Reader // raw or gzip-decompressed chunk source
+	gz         *gzip.Reader
+	compressed bool
+	chunkCap   int
+
+	chunk []Inst // decoded records of the current chunk
+	pos   int    // replay cursor within chunk
+	raw   []byte // scratch for one encoded chunk
+}
+
+// newReaderV2 reads the v2 header tail (flags + chunk capacity) from
+// the source positioned just past the 8-byte common header.
+func newReaderV2(br *bufio.Reader) (*readerV2, error) {
+	var tail [8]byte
+	if _, err := io.ReadFull(br, tail[:]); err != nil {
+		return nil, fmt.Errorf("trace: short v2 header: %w", err)
+	}
+	flags := binary.LittleEndian.Uint32(tail[0:4])
+	if flags&^uint32(v2FlagKnown) != 0 {
+		return nil, fmt.Errorf("trace: unknown v2 stream flag bits %#x", flags&^uint32(v2FlagKnown))
+	}
+	chunkCap := binary.LittleEndian.Uint32(tail[4:8])
+	if chunkCap < 1 || chunkCap > MaxChunkRecords {
+		return nil, fmt.Errorf("trace: v2 chunk capacity %d outside [1, %d]", chunkCap, MaxChunkRecords)
+	}
+	v2 := &readerV2{
+		compressed: flags&v2FlagGzip != 0,
+		chunkCap:   int(chunkCap),
+		raw:        make([]byte, int(chunkCap)*recordBytes),
+	}
+	if v2.compressed {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad gzip body: %w", err)
+		}
+		v2.gz = gz
+		v2.body = gz
+	} else {
+		v2.body = br
+	}
+	return v2, nil
+}
+
+// loadChunk decodes the next chunk into r.v2.chunk. It returns false
+// when the stream is finished — either cleanly (end marker + verified
+// trailer) or with r.err set.
+func (r *Reader) loadChunk() bool {
+	v2 := r.v2
+	var cnt [4]byte
+	if _, err := io.ReadFull(v2.body, cnt[:]); err != nil {
+		r.err = fmt.Errorf("trace: truncated chunk header after %d records: %w", r.read, err)
+		return false
+	}
+	n := binary.LittleEndian.Uint32(cnt[0:4])
+	if n == 0 {
+		// End marker: verify the 8-byte trailer and that nothing
+		// trails it.
+		var trailer [8]byte
+		if _, err := io.ReadFull(v2.body, trailer[:]); err != nil {
+			r.err = fmt.Errorf("trace: truncated trailer after %d records: %w", r.read, err)
+			return false
+		}
+		if total := binary.LittleEndian.Uint64(trailer[:]); total != r.read {
+			r.err = fmt.Errorf("trace: trailer count %d, streamed %d records (truncated file?)", total, r.read)
+			return false
+		}
+		// The trailer must be the end: read one more byte and demand
+		// EOF, so concatenation damage cannot pass as valid. For a
+		// compressed body this read also forces the gzip checksum
+		// verification.
+		var one [1]byte
+		switch _, err := io.ReadFull(v2.body, one[:]); err {
+		case io.EOF:
+		case nil:
+			r.err = fmt.Errorf("trace: trailing data after trailer")
+			return false
+		default:
+			r.err = fmt.Errorf("trace: corrupt body after trailer: %w", err)
+			return false
+		}
+		if v2.gz != nil {
+			if err := v2.gz.Close(); err != nil {
+				r.err = fmt.Errorf("trace: corrupt gzip body: %w", err)
+				return false
+			}
+		}
+		return false
+	}
+	if int(n) > v2.chunkCap {
+		r.err = fmt.Errorf("trace: chunk of %d records exceeds declared capacity %d", n, v2.chunkCap)
+		return false
+	}
+	raw := v2.raw[:int(n)*recordBytes]
+	if _, err := io.ReadFull(v2.body, raw); err != nil {
+		r.err = fmt.Errorf("trace: truncated chunk after %d records: %w", r.read, err)
+		return false
+	}
+	if cap(v2.chunk) < int(n) {
+		v2.chunk = make([]Inst, int(n))
+	}
+	v2.chunk = v2.chunk[:int(n)]
+	for i := range v2.chunk {
+		inst, err := decodeRecord(raw[i*recordBytes:])
+		if err != nil {
+			r.err = fmt.Errorf("%w (record %d)", err, r.read+uint64(i))
+			return false
+		}
+		v2.chunk[i] = inst
+	}
+	v2.pos = 0
+	return true
+}
+
+// nextV2 returns the next record of a v2 file, loading chunks on
+// demand.
+func (r *Reader) nextV2() (Inst, bool) {
+	v2 := r.v2
+	if v2.pos >= len(v2.chunk) {
+		if !r.loadChunk() {
+			r.done = true
+			return Inst{}, false
+		}
+	}
+	inst := v2.chunk[v2.pos]
+	v2.pos++
+	r.read++
+	return inst, true
+}
+
+// nextBatchV2 copies decoded records out of the chunk buffer in bulk.
+func (r *Reader) nextBatchV2(buf []Inst) int {
+	if r.done || r.err != nil {
+		return 0
+	}
+	v2 := r.v2
+	n := 0
+	for n < len(buf) {
+		if v2.pos >= len(v2.chunk) {
+			if !r.loadChunk() {
+				r.done = true
+				break
+			}
+		}
+		c := copy(buf[n:], v2.chunk[v2.pos:])
+		v2.pos += c
+		r.read += uint64(c)
+		n += c
+	}
+	return n
+}
