@@ -11,6 +11,7 @@
 //
 //	tracegen -workload gsm_c -instructions 300000 -o gsm_c.trace
 //	tracegen -workload ptrchase_l -gzip -o chase.trace.gz
+//	tracegen -workload phased_mix -phases -o phased.trace
 //	tracegen -verify gsm_c.trace
 package main
 
@@ -39,6 +40,7 @@ func run(args []string, stdout io.Writer) error {
 		format       = fs.String("format", "v2", "container format: v1 (flat) or v2 (chunked, streamable)")
 		gzipBody     = fs.Bool("gzip", false, "gzip-compress the v2 body")
 		chunk        = fs.Int("chunk", 0, "records per v2 chunk (0 = default)")
+		phases       = fs.Bool("phases", false, "carry per-record phase ids (v2 stream-flag bit 1)")
 		verify       = fs.String("verify", "", "validate an existing trace file (v1 or v2) and print its stats")
 	)
 	if err := cli.Parse(fs, args); err != nil {
@@ -62,8 +64,8 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("-chunk %d outside [0, %d]", *chunk, trace.MaxChunkRecords)
 		}
 	case "v1":
-		if *gzipBody || *chunk != 0 {
-			return fmt.Errorf("-gzip and -chunk need -format v2")
+		if *gzipBody || *chunk != 0 || *phases {
+			return fmt.Errorf("-gzip, -chunk and -phases need -format v2")
 		}
 	default:
 		return fmt.Errorf("unknown format %q (want v1 or v2)", *format)
@@ -79,7 +81,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 	var n int64
 	if *format == "v2" {
-		n, err = trace.WriteV2(f, w.Stream(), trace.V2Options{Compress: *gzipBody, ChunkRecords: *chunk})
+		n, err = trace.WriteV2(f, w.Stream(), trace.V2Options{Compress: *gzipBody, ChunkRecords: *chunk, Phases: *phases})
 	} else {
 		var n1 int
 		n1, err = trace.Write(f, w.Stream())
@@ -92,7 +94,14 @@ func run(args []string, stdout io.Writer) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "wrote %d instructions of %s to %s (format %s)\n", n, w.Name, path, *format)
+	suffix := ""
+	if *phases {
+		suffix = ", phase-annotated"
+		if !w.HasPhases() {
+			suffix = ", phase-annotated — note: generator emits a single phase 0"
+		}
+	}
+	fmt.Fprintf(stdout, "wrote %d instructions of %s to %s (format %s%s)\n", n, w.Name, path, *format, suffix)
 	return nil
 }
 
@@ -107,6 +116,7 @@ func verifyTrace(path string, stdout io.Writer) error {
 		return err
 	}
 	var n, loads, stores, branches int
+	var phaseCounts [256]int
 	buf := make([]trace.Inst, 4096)
 	for {
 		c := r.NextBatch(buf)
@@ -122,6 +132,7 @@ func verifyTrace(path string, stdout io.Writer) error {
 			case inst.IsBranch:
 				branches++
 			}
+			phaseCounts[inst.Phase]++
 		}
 		n += c
 	}
@@ -134,6 +145,21 @@ func verifyTrace(path string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "%s: format v%d (%s), %d instructions (%.1f%% loads, %.1f%% stores, %.1f%% branches) — valid\n",
 		path, r.Version(), compression, n, pct(loads, n), pct(stores, n), pct(branches, n))
+	// Phase-id presence, per-id counts, and header/record mismatches.
+	if r.HasPhases() {
+		fmt.Fprintf(stdout, "phases: present —")
+		for id, c := range phaseCounts {
+			if c > 0 {
+				fmt.Fprintf(stdout, " %d×%d", id, c)
+			}
+		}
+		fmt.Fprintln(stdout)
+	} else {
+		fmt.Fprintln(stdout, "phases: none")
+	}
+	if stray := r.UnadvertisedPhaseBytes(); stray > 0 {
+		fmt.Fprintf(stdout, "warning: %d records carry a non-zero phase byte but the stream does not advertise phases (flag bit 1 clear); they replay as phase 0\n", stray)
+	}
 	return nil
 }
 

@@ -20,6 +20,7 @@ func TestGenerateAndVerifyRoundTrip(t *testing.T) {
 		{"v2", []string{"-workload", "adpcm_c"}, "format v2 (uncompressed)"},
 		{"v2-gzip", []string{"-workload", "adpcm_c", "-gzip"}, "format v2 (gzip)"},
 		{"v2-corpus", []string{"-workload", "ptrchase_s", "-gzip", "-chunk", "512"}, "format v2 (gzip)"},
+		{"v2-phases", []string{"-workload", "phased_mix", "-phases"}, "phases: present"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			path := filepath.Join(t.TempDir(), "out.trace")
@@ -57,6 +58,75 @@ func TestMissingFlags(t *testing.T) {
 	}
 	if err := run([]string{"-workload", "adpcm_c", "-format", "v1", "-gzip"}, &bytes.Buffer{}); err == nil {
 		t.Fatal("v1 with -gzip accepted")
+	}
+	if err := run([]string{"-workload", "phased_mix", "-format", "v1", "-phases"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("v1 with -phases accepted")
+	}
+}
+
+func TestVerifyReportsPhasePresence(t *testing.T) {
+	dir := t.TempDir()
+
+	// phased_mix with -phases: multiple distinct ids, counted per id.
+	// 80k instructions at the registered 40k PhaseInsts covers phases
+	// 0 and 1.
+	phased := filepath.Join(dir, "phased.trace")
+	if err := run([]string{"-workload", "phased_mix", "-phases", "-instructions", "80000", "-o", phased}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-verify", phased}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "phases: present — 0×40000 1×40000") {
+		t.Errorf("verify output missing per-phase counts:\n%s", got)
+	}
+
+	// The same workload without -phases: the ids are dropped on write
+	// and verify reports their absence.
+	plain := filepath.Join(dir, "plain.trace")
+	if err := run([]string{"-workload", "phased_mix", "-instructions", "5000", "-o", plain}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-verify", plain}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "phases: none") {
+		t.Errorf("phase-less verify output:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "warning") {
+		t.Errorf("clean phase-less file triggered a warning:\n%s", out.String())
+	}
+}
+
+func TestVerifyWarnsOnUnadvertisedPhaseBytes(t *testing.T) {
+	// A phase-annotated body whose header lost the phase flag must be
+	// called out, not silently replayed as phase 0.
+	path := filepath.Join(t.TempDir(), "stray.trace")
+	if err := run([]string{"-workload", "phased_mix", "-phases", "-instructions", "50000", "-o", path}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[8], data[9], data[10], data[11] = 0, 0, 0, 0 // clear stream flags
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-verify", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "phases: none") {
+		t.Errorf("flag-less file reported phases:\n%s", got)
+	}
+	// 50k instructions: 40k in phase 0 (byte zero), 10k in phase 1.
+	if !strings.Contains(got, "warning: 10000 records carry a non-zero phase byte") {
+		t.Errorf("verify did not count the unadvertised phase bytes:\n%s", got)
 	}
 }
 

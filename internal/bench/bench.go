@@ -148,6 +148,11 @@ func (w Workload) ScaledTo(instructions int) Workload {
 	return w
 }
 
+// HasPhases reports whether the workload's generator annotates
+// instructions with phase ids (PatternPhased does natively; the
+// phase-aware experiments and tracegen -phases key off it).
+func (w Workload) HasPhases() bool { return w.Pattern == PatternPhased }
+
 // Stream returns a fresh deterministic instruction stream for the
 // workload. Every returned stream also implements trace.BatchStream, so
 // serialisation (trace.WriteV2) and replay (cpu.Run) take their bulk

@@ -19,9 +19,13 @@ import (
 // seqStream adapts a per-instruction generator function to
 // trace.Stream and trace.BatchStream under an instruction budget.
 type seqStream struct {
-	n   int // remaining instructions
-	gen func() trace.Inst
+	n      int // remaining instructions
+	gen    func() trace.Inst
+	phased bool // generator stamps phase ids (trace.PhaseAnnotated)
 }
+
+// HasPhases implements trace.PhaseAnnotated.
+func (s *seqStream) HasPhases() bool { return s.phased }
 
 // Next implements trace.Stream.
 func (s *seqStream) Next() (trace.Inst, bool) {
@@ -247,8 +251,10 @@ func newBranchyStream(w Workload) trace.Stream {
 }
 
 // phaseCount is the number of distinct phases a phased workload cycles
-// through; each gets its own PC region, so phase boundaries are
-// recoverable from the trace (phase-annotated by construction).
+// through. Each phase gets its own PC region AND stamps its index into
+// trace.Inst.Phase, so phase boundaries survive both in-memory replay
+// (cpu.Stats segments per phase) and serialisation (trace v2 with the
+// phase flag carries the ids byte-for-byte).
 const phaseCount = 4
 
 // phaseSpec parameterises one phase of the phased generator.
@@ -313,7 +319,7 @@ func newPhasedStream(w Workload) trace.Stream {
 		if foot < 64 {
 			foot = 64
 		}
-		inst := trace.Inst{PC: pc}
+		inst := trace.Inst{PC: pc, Phase: uint8(phase)}
 		r := rng.Float64()
 		isMem := false
 		switch {
@@ -354,7 +360,7 @@ func newPhasedStream(w Workload) trace.Stream {
 		}
 		return inst
 	}
-	return &seqStream{n: w.Instructions, gen: gen}
+	return &seqStream{n: w.Instructions, gen: gen, phased: true}
 }
 
 // adversarialBody is the 4-instruction conflict loop: load, ALU,

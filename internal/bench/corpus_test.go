@@ -253,6 +253,71 @@ func TestPhasedShiftsWorkingSetAndCodeRegion(t *testing.T) {
 	}
 }
 
+func TestPhasedEmitsPhaseIDsNatively(t *testing.T) {
+	w, err := ByName("phased_mix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.PhaseInsts = 2_000
+	w = w.ScaledTo(w.PhaseInsts * phaseCount * 2) // two full cycles
+	s := w.Stream()
+	if !trace.HasPhases(s) {
+		t.Fatal("phased stream does not advertise phases")
+	}
+	for i := 0; ; i++ {
+		inst, ok := s.Next()
+		if !ok {
+			break
+		}
+		if want := uint8((i / w.PhaseInsts) % phaseCount); inst.Phase != want {
+			t.Fatalf("instruction %d: phase %d, want %d", i, inst.Phase, want)
+		}
+	}
+	// The batch path must stamp the same ids.
+	bs, ok := w.Stream().(trace.BatchStream)
+	if !ok {
+		t.Fatal("phased stream lost BatchStream")
+	}
+	buf := make([]trace.Inst, 513)
+	for i := 0; ; {
+		n := bs.NextBatch(buf)
+		if n == 0 {
+			break
+		}
+		for _, inst := range buf[:n] {
+			if want := uint8((i / w.PhaseInsts) % phaseCount); inst.Phase != want {
+				t.Fatalf("batched instruction %d: phase %d, want %d", i, inst.Phase, want)
+			}
+			i++
+		}
+	}
+}
+
+func TestUnphasedGeneratorsStayUnannotated(t *testing.T) {
+	for _, name := range []string{"gsm_c", "ptrchase_s", "stencil_s", "branchy_tight", "adversarial_l1"} {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.HasPhases() {
+			t.Errorf("%s claims phases", name)
+		}
+		s := w.ScaledTo(2_000).Stream()
+		if trace.HasPhases(s) {
+			t.Errorf("%s stream advertises phases", name)
+		}
+		for {
+			inst, ok := s.Next()
+			if !ok {
+				break
+			}
+			if inst.Phase != 0 {
+				t.Fatalf("%s emitted phase %d", name, inst.Phase)
+			}
+		}
+	}
+}
+
 func TestAdversarialMapsToOneSet(t *testing.T) {
 	w, err := ByName("adversarial_l1")
 	if err != nil {

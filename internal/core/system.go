@@ -211,6 +211,45 @@ func (s *System) cacheLeakPower(m Mode) float64 {
 	return p
 }
 
+// portCounters are the per-cache event counts the energy accounting
+// consumes. They live in their own struct so a run can be sliced: the
+// port keeps running totals plus, for phase-annotated streams, one
+// delta per phase id.
+type portCounters struct {
+	reads, writes           uint64
+	fillsHP, fillsULE       uint64
+	wbHP, wbULE             uint64
+	writeHitHP, writeHitULE uint64
+}
+
+// sub returns the field-wise difference c − m.
+func (c portCounters) sub(m portCounters) portCounters {
+	return portCounters{
+		reads: c.reads - m.reads, writes: c.writes - m.writes,
+		fillsHP: c.fillsHP - m.fillsHP, fillsULE: c.fillsULE - m.fillsULE,
+		wbHP: c.wbHP - m.wbHP, wbULE: c.wbULE - m.wbULE,
+		writeHitHP: c.writeHitHP - m.writeHitHP, writeHitULE: c.writeHitULE - m.writeHitULE,
+	}
+}
+
+// add accumulates d into c.
+func (c *portCounters) add(d portCounters) {
+	c.reads += d.reads
+	c.writes += d.writes
+	c.fillsHP += d.fillsHP
+	c.fillsULE += d.fillsULE
+	c.wbHP += d.wbHP
+	c.wbULE += d.wbULE
+	c.writeHitHP += d.writeHitHP
+	c.writeHitULE += d.writeHitULE
+}
+
+// portPhase is one phase's slice of a port's counters.
+type portPhase struct {
+	id uint8
+	portCounters
+}
+
 // port adapts one cache instance to the cpu.Port interface and tallies
 // the event counts the energy accounting needs.
 type port struct {
@@ -219,10 +258,12 @@ type port struct {
 
 	hpWays int // ways [0, hpWays) are HP ways
 
-	reads, writes           uint64
-	fillsHP, fillsULE       uint64
-	wbHP, wbULE             uint64
-	writeHitHP, writeHitULE uint64
+	portCounters
+
+	// Phase segmentation, driven by cpu.Run through BeginPhase.
+	cur  uint8
+	mark portCounters
+	segs []portPhase
 }
 
 // tally folds one access outcome into the port's event counters and
@@ -290,6 +331,46 @@ func (p *port) AccessBatch(ops []cpu.PortOp, miss []bool) {
 // ExtraHitLatency implements cpu.Port.
 func (p *port) ExtraHitLatency() int { return p.extra }
 
+// BeginPhase implements cpu.PhasePort: cpu.Run calls it at every phase
+// boundary of a phase-annotated stream, before issuing the new phase's
+// accesses. The segment bookkeeping below mirrors cpu's phaseLedger
+// (snapshot at the boundary, diff, accumulate by id) — the two must
+// keep identical boundary semantics or Report.Phases' energy would be
+// attributed to different segments than its counters.
+func (p *port) BeginPhase(id uint8) {
+	p.closeSegment()
+	p.cur = id
+}
+
+// closeSegment folds the counters accumulated since the last boundary
+// into the current phase's slice.
+func (p *port) closeSegment() {
+	d := p.portCounters.sub(p.mark)
+	p.mark = p.portCounters
+	if d == (portCounters{}) {
+		return
+	}
+	for i := range p.segs {
+		if p.segs[i].id == p.cur {
+			p.segs[i].add(d)
+			return
+		}
+	}
+	p.segs = append(p.segs, portPhase{id: p.cur, portCounters: d})
+}
+
+// phase returns this port's counters for one phase id (zero counters
+// when the phase issued no accesses on this port). Call closeSegment
+// first so the trailing segment is folded in.
+func (p *port) phase(id uint8) portCounters {
+	for i := range p.segs {
+		if p.segs[i].id == id {
+			return p.segs[i].portCounters
+		}
+	}
+	return portCounters{}
+}
+
 func (s *System) newPort(m Mode, dside bool) *port {
 	sim := cache.MustNew(cache.Config{Sets: s.cfg.Sets, Ways: s.cfg.Ways, LineBytes: s.cfg.LineBytes})
 	if m == ModeULE {
@@ -330,6 +411,22 @@ type Report struct {
 	Stats  cpu.Stats
 	TimeNS float64
 	EPI    Breakdown
+
+	// Phases, non-nil only when the replayed stream carried phase
+	// annotations, segments the run per working-set regime: the same
+	// counters, time and EPI decomposition, restricted to one phase id.
+	// Integer counters sum exactly to Stats; energy and time sum to the
+	// run totals up to float rounding, because every breakdown term is
+	// linear in the counters it is computed from.
+	Phases []PhaseReport
+}
+
+// PhaseReport is one phase's slice of a Report.
+type PhaseReport struct {
+	Phase  uint8
+	Stats  cpu.Stats // the segment's counters (Phases nil)
+	TimeNS float64
+	EPI    Breakdown
 }
 
 // Run executes the workload on the system in the given mode and returns
@@ -338,7 +435,9 @@ func (s *System) Run(w bench.Workload, m Mode) (Report, error) {
 	return s.RunStream(w.Name, w.Stream(), m)
 }
 
-// RunStream is Run for an arbitrary instruction stream.
+// RunStream is Run for an arbitrary instruction stream. When the stream
+// is phase-annotated (trace.PhaseAnnotated) the report additionally
+// carries a per-phase segmentation of counters, time and EPI.
 func (s *System) RunStream(name string, stream trace.Stream, m Mode) (Report, error) {
 	il1 := s.newPort(m, false)
 	dl1 := s.newPort(m, true)
@@ -351,11 +450,45 @@ func (s *System) RunStream(name string, stream trace.Stream, m Mode) (Report, er
 	}
 	timeNS := float64(stats.Cycles) / s.cfg.FreqGHz(m)
 
+	rep := Report{
+		Config:   s.cfg,
+		Mode:     m,
+		Workload: name,
+		Stats:    stats,
+		TimeNS:   timeNS,
+		EPI:      s.breakdown(m, il1.portCounters, dl1.portCounters, stats.Instructions, timeNS),
+	}
+	if stats.Phases != nil {
+		// Fold each port's trailing segment in, then decompose every
+		// phase with the same accounting the run-level breakdown uses —
+		// the terms are linear in the counters, so phases sum to the
+		// totals (exactly for counters, to float rounding for energy).
+		il1.closeSegment()
+		dl1.closeSegment()
+		for _, seg := range stats.Phases {
+			pt := float64(seg.Stats.Cycles) / s.cfg.FreqGHz(m)
+			rep.Phases = append(rep.Phases, PhaseReport{
+				Phase:  seg.Phase,
+				Stats:  seg.Stats,
+				TimeNS: pt,
+				EPI:    s.breakdown(m, il1.phase(seg.Phase), dl1.phase(seg.Phase), seg.Stats.Instructions, pt),
+			})
+		}
+	}
+	return rep, nil
+}
+
+// breakdown decomposes the energy of one (sub-)run — full run or one
+// phase segment — given the two cache ports' event counters, the
+// instruction count and the wall time. Every term is linear in its
+// counters; RunStream relies on that to make per-phase breakdowns sum
+// to the run-level one.
+func (s *System) breakdown(m Mode, il1c, dl1c portCounters, instructions uint64, timeNS float64) Breakdown {
 	var b Breakdown
 	vcc := s.cfg.Vcc(m)
 	dataCodec, tagCodec := s.activeCodecs(m)
 	wpl := s.cfg.WordsPerLine()
-	for _, p := range []*port{il1, dl1} {
+	for _, p := range []portCounters{il1c, dl1c} {
 		// Parallel lookups: every access probes all enabled ways.
 		b.CacheDynamic += float64(p.reads+p.writes) * s.lookupEnergy(m)
 		// Store hits write one word into the hit way.
@@ -380,25 +513,17 @@ func (s *System) RunStream(name string, stream trace.Stream, m Mode) (Report, er
 		b.EDC += fills * (float64(wpl)*dataCodec.EncodeEnergy(vcc) + tagCodec.EncodeEnergy(vcc))
 		b.EDC += float64(p.wbHP+p.wbULE) * float64(wpl) * dataCodec.DecodeEnergy(vcc)
 	}
-	// Two cache instances (IL1, DL1) leak for the whole run.
+	// Two cache instances (IL1, DL1) leak for the whole (sub-)run.
 	b.CacheLeakage = 2 * s.cacheLeakPower(m) * timeNS
-	b.Core = CoreDynEPI*bitcell.DynScale(vcc)*float64(stats.Instructions) +
+	b.Core = CoreDynEPI*bitcell.DynScale(vcc)*float64(instructions) +
 		CoreLeakPower*bitcell.LeakScale(vcc)*timeNS
 
-	instr := float64(stats.Instructions)
+	instr := float64(instructions)
 	b.CacheDynamic /= instr
 	b.CacheLeakage /= instr
 	b.EDC /= instr
 	b.Core /= instr
-
-	return Report{
-		Config:   s.cfg,
-		Mode:     m,
-		Workload: name,
-		Stats:    stats,
-		TimeNS:   timeNS,
-		EPI:      b,
-	}, nil
+	return b
 }
 
 // AreaReport decomposes the layout area of one cache instance, in

@@ -2,6 +2,7 @@ package cpu
 
 import (
 	"io"
+	"reflect"
 	"testing"
 
 	"edcache/internal/bench"
@@ -46,10 +47,13 @@ func (p *batchPort) AccessBatch(ops []PortOp, miss []bool) {
 	}
 }
 
-// scalarOnly hides a stream's NextBatch so Run takes the scalar path.
+// scalarOnly hides a stream's NextBatch so Run takes the scalar path
+// (but forwards phase annotations, so both paths segment alike).
 type scalarOnly struct{ s trace.Stream }
 
 func (s scalarOnly) Next() (trace.Inst, bool) { return s.s.Next() }
+
+func (s scalarOnly) HasPhases() bool { return trace.HasPhases(s.s) }
 
 // TestBatchedRunMatchesScalar is the fast path's contract: for every
 // generator family, chunked replay must produce bit-identical Stats to
@@ -71,7 +75,7 @@ func TestBatchedRunMatchesScalar(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				if scalar != batched {
+				if !reflect.DeepEqual(scalar, batched) {
 					t.Errorf("extra=%d: batched stats %+v != scalar %+v", extra, batched, scalar)
 				}
 			}
@@ -99,7 +103,7 @@ func TestBatchedRunReplaysSerialisedTrace(t *testing.T) {
 	if pr.Err() != nil {
 		t.Fatal(pr.Err())
 	}
-	if direct != replayed {
+	if !reflect.DeepEqual(direct, replayed) {
 		t.Errorf("replayed stats %+v != direct %+v", replayed, direct)
 	}
 }

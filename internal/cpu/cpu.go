@@ -21,6 +21,7 @@ package cpu
 
 import (
 	"fmt"
+	"sort"
 
 	"edcache/internal/trace"
 )
@@ -49,6 +50,18 @@ type PortOp struct {
 type BatchPort interface {
 	Port
 	AccessBatch(ops []PortOp, miss []bool)
+}
+
+// PhasePort is an optional Port extension for phase-segmented
+// accounting: when the replayed stream is phase-annotated, Run calls
+// BeginPhase every time the stream's phase id changes (and once up
+// front if the stream opens in a non-zero phase) before issuing that
+// phase's accesses, so the port can slice its own event counters per
+// phase. Ports start in phase 0 implicitly; unannotated streams never
+// trigger a call.
+type PhasePort interface {
+	Port
+	BeginPhase(id uint8)
 }
 
 // Config is the core's timing configuration.
@@ -83,6 +96,21 @@ type Stats struct {
 
 	LoadUseStalls uint64 // cycles lost to load-to-use stalls
 	MissCycles    uint64 // cycles lost to memory accesses
+
+	// Phases segments every counter above by the stream's phase id,
+	// ordered by id. It is nil unless the replayed stream advertises
+	// phase annotations (trace.PhaseAnnotated), so unphased replay
+	// keeps its exact fast path. When present, each counter sums over
+	// the segments to exactly the run-level value.
+	Phases []PhaseStats
+}
+
+// PhaseStats is one phase segment of a run: the full counter set
+// restricted to the instructions carrying this phase id. Stats.Phases
+// within the segment is always nil.
+type PhaseStats struct {
+	Phase uint8
+	Stats Stats
 }
 
 // CPI returns cycles per instruction.
@@ -91,6 +119,104 @@ func (s Stats) CPI() float64 {
 		return 0
 	}
 	return float64(s.Cycles) / float64(s.Instructions)
+}
+
+// subCounters returns the field-wise difference a − b of the plain
+// counters (Phases excluded); the phase ledger uses it to turn two
+// running snapshots into one segment.
+func subCounters(a, b Stats) Stats {
+	return Stats{
+		Instructions:  a.Instructions - b.Instructions,
+		Cycles:        a.Cycles - b.Cycles,
+		Loads:         a.Loads - b.Loads,
+		Stores:        a.Stores - b.Stores,
+		Branches:      a.Branches - b.Branches,
+		TakenBranches: a.TakenBranches - b.TakenBranches,
+		IAccesses:     a.IAccesses - b.IAccesses,
+		IMisses:       a.IMisses - b.IMisses,
+		DAccesses:     a.DAccesses - b.DAccesses,
+		DMisses:       a.DMisses - b.DMisses,
+		LoadUseStalls: a.LoadUseStalls - b.LoadUseStalls,
+		MissCycles:    a.MissCycles - b.MissCycles,
+	}
+}
+
+// addCounters accumulates the plain counters of d into dst.
+func addCounters(dst *Stats, d Stats) {
+	dst.Instructions += d.Instructions
+	dst.Cycles += d.Cycles
+	dst.Loads += d.Loads
+	dst.Stores += d.Stores
+	dst.Branches += d.Branches
+	dst.TakenBranches += d.TakenBranches
+	dst.IAccesses += d.IAccesses
+	dst.IMisses += d.IMisses
+	dst.DAccesses += d.DAccesses
+	dst.DMisses += d.DMisses
+	dst.LoadUseStalls += d.LoadUseStalls
+	dst.MissCycles += d.MissCycles
+}
+
+// phaseLedger accumulates per-phase counter segments by snapshotting
+// the running Stats at phase boundaries. Cost is O(boundaries), not
+// O(instructions): between boundaries the run loops touch only the
+// plain counters. core's port keeps its energy-event counters in sync
+// with the same snapshot-diff-accumulate scheme (driven by BeginPhase);
+// any change to boundary semantics here must be mirrored there.
+type phaseLedger struct {
+	cur  uint8
+	mark Stats // counters at the start of the current segment
+	segs []PhaseStats
+	ip   PhasePort // nil when the port doesn't segment itself
+	dp   PhasePort
+}
+
+func newPhaseLedger(il1, dl1 Port) *phaseLedger {
+	lg := &phaseLedger{}
+	lg.ip, _ = il1.(PhasePort)
+	lg.dp, _ = dl1.(PhasePort)
+	return lg
+}
+
+// boundary closes the current segment at the running counters st and
+// opens a segment for phase id, notifying phase-aware ports before any
+// of the new phase's accesses are issued.
+func (l *phaseLedger) boundary(st Stats, id uint8) {
+	l.closeSegment(st)
+	l.cur = id
+	if l.ip != nil {
+		l.ip.BeginPhase(id)
+	}
+	if l.dp != nil {
+		l.dp.BeginPhase(id)
+	}
+}
+
+// closeSegment folds the counters accumulated since the last snapshot
+// into the current phase's segment. A phase id recurring later (phased
+// workloads cycle) accumulates into its existing segment.
+func (l *phaseLedger) closeSegment(st Stats) {
+	st.Phases = nil
+	d := subCounters(st, l.mark)
+	l.mark = st
+	if d.Instructions == 0 {
+		return
+	}
+	for i := range l.segs {
+		if l.segs[i].Phase == l.cur {
+			addCounters(&l.segs[i].Stats, d)
+			return
+		}
+	}
+	l.segs = append(l.segs, PhaseStats{Phase: l.cur, Stats: d})
+}
+
+// finish closes the trailing segment and attaches the id-ordered
+// segmentation to st.
+func (l *phaseLedger) finish(st *Stats) {
+	l.closeSegment(*st)
+	sort.Slice(l.segs, func(i, j int) bool { return l.segs[i].Phase < l.segs[j].Phase })
+	st.Phases = l.segs
 }
 
 // batchSize is the chunk length of the batched replay path: large
@@ -108,6 +234,13 @@ const batchSize = 4096
 // program order — IL1 and DL1 are independent state, so interleaving
 // between them never affects either. (Ports therefore must not share
 // mutable state with each other, which no in-tree port does.)
+//
+// When the stream additionally advertises phase annotations
+// (trace.PhaseAnnotated), Run segments the counters per phase id into
+// Stats.Phases and notifies PhasePort ports at every boundary. Replay
+// behaviour is untouched — each cache still sees the identical access
+// sequence, the batch path merely splits chunks at phase boundaries —
+// and streams without the annotation run the exact unsegmented code.
 func Run(cfg Config, il1, dl1 Port, s trace.Stream) (Stats, error) {
 	if err := cfg.Validate(); err != nil {
 		return Stats{}, err
@@ -115,19 +248,32 @@ func Run(cfg Config, il1, dl1 Port, s trace.Stream) (Stats, error) {
 	if il1 == nil || dl1 == nil {
 		return Stats{}, fmt.Errorf("cpu: nil cache port")
 	}
+	phased := trace.HasPhases(s)
 	if bs, ok := s.(trace.BatchStream); ok {
 		bi, okI := il1.(BatchPort)
 		bd, okD := dl1.(BatchPort)
 		if okI && okD {
-			return runBatched(cfg, bi, bd, bs), nil
+			return runBatched(cfg, bi, bd, bs, phased), nil
 		}
 	}
+	return runScalar(cfg, il1, dl1, s, phased), nil
+}
+
+// runScalar is the per-instruction path of Run.
+func runScalar(cfg Config, il1, dl1 Port, s trace.Stream, phased bool) Stats {
 	var st Stats
+	var lg *phaseLedger
+	if phased {
+		lg = newPhaseLedger(il1, dl1)
+	}
 	dExtra := dl1.ExtraHitLatency()
 	for {
 		inst, ok := s.Next()
 		if !ok {
 			break
+		}
+		if lg != nil && inst.Phase != lg.cur {
+			lg.boundary(st, inst.Phase)
 		}
 		st.Instructions++
 		st.Cycles++ // issue slot
@@ -172,85 +318,143 @@ func Run(cfg Config, il1, dl1 Port, s trace.Stream) (Stats, error) {
 			}
 		}
 	}
-	return st, nil
+	if lg != nil {
+		lg.finish(&st)
+	}
+	return st
 }
 
-// runBatched is the chunked fast path of Run: per chunk it performs all
-// instruction fetches as one IL1 batch, all data accesses (in program
-// order) as one DL1 batch, then walks the chunk accumulating timing.
-func runBatched(cfg Config, il1, dl1 BatchPort, s trace.BatchStream) Stats {
-	var st Stats
-	dExtra := dl1.ExtraHitLatency()
-	mem := uint64(cfg.MemLatency)
+// batcher holds the scratch state of the chunked fast path; process
+// replays one same-phase run of instructions.
+type batcher struct {
+	st     Stats
+	mem    uint64
+	dExtra int
+	il1    BatchPort
+	dl1    BatchPort
+	iops   []PortOp
+	imiss  []bool
+	dops   []PortOp
+	dmiss  []bool
+}
 
+func newBatcher(cfg Config, il1, dl1 BatchPort) *batcher {
+	return &batcher{
+		mem:    uint64(cfg.MemLatency),
+		dExtra: dl1.ExtraHitLatency(),
+		il1:    il1,
+		dl1:    dl1,
+		iops:   make([]PortOp, batchSize),
+		imiss:  make([]bool, batchSize),
+		dops:   make([]PortOp, 0, batchSize),
+		dmiss:  make([]bool, batchSize),
+	}
+}
+
+// process performs all instruction fetches of the slice as one IL1
+// batch, all data accesses (in program order) as one DL1 batch, then
+// walks the instructions accumulating timing.
+func (b *batcher) process(insts []trace.Inst) {
+	st := &b.st
+	n := len(insts)
+	for i := 0; i < n; i++ {
+		b.iops[i] = PortOp{Addr: insts[i].PC}
+	}
+	b.il1.AccessBatch(b.iops[:n], b.imiss[:n])
+
+	b.dops = b.dops[:0]
+	for i := 0; i < n; i++ {
+		if insts[i].IsLoad {
+			b.dops = append(b.dops, PortOp{Addr: insts[i].Addr})
+		} else if insts[i].IsStore {
+			b.dops = append(b.dops, PortOp{Addr: insts[i].Addr, Write: true})
+		}
+	}
+	b.dl1.AccessBatch(b.dops, b.dmiss[:len(b.dops)])
+
+	d := 0
+	for i := 0; i < n; i++ {
+		inst := &insts[i]
+		st.Instructions++
+		st.Cycles++ // issue slot
+		st.IAccesses++
+		if b.imiss[i] {
+			st.IMisses++
+			st.Cycles += b.mem
+			st.MissCycles += b.mem
+		}
+		switch {
+		case inst.IsLoad:
+			st.Loads++
+			st.DAccesses++
+			if b.dmiss[d] {
+				st.DMisses++
+				st.Cycles += b.mem
+				st.MissCycles += b.mem
+			} else if b.dExtra > 0 && inst.UseDist > 0 {
+				if stall := 1 + b.dExtra - int(inst.UseDist); stall > 0 {
+					st.Cycles += uint64(stall)
+					st.LoadUseStalls += uint64(stall)
+				}
+			}
+			d++
+		case inst.IsStore:
+			st.Stores++
+			st.DAccesses++
+			if b.dmiss[d] {
+				st.DMisses++
+				st.Cycles += b.mem
+				st.MissCycles += b.mem
+			}
+			d++
+		case inst.IsBranch:
+			st.Branches++
+			if inst.Taken {
+				st.TakenBranches++
+			}
+		}
+	}
+}
+
+// runBatched is the chunked fast path of Run. For phase-annotated
+// streams each chunk is split at phase boundaries into same-phase runs
+// — the access sequences the caches see are unchanged, so Stats stay
+// bit-identical to scalar replay; boundaries are rare (thousands of
+// instructions apart), so the split costs one phase-id scan per chunk
+// and nothing at all for unannotated streams.
+func runBatched(cfg Config, il1, dl1 BatchPort, s trace.BatchStream, phased bool) Stats {
+	b := newBatcher(cfg, il1, dl1)
 	insts := make([]trace.Inst, batchSize)
-	iops := make([]PortOp, batchSize)
-	imiss := make([]bool, batchSize)
-	dops := make([]PortOp, 0, batchSize)
-	dmiss := make([]bool, batchSize)
-
+	if !phased {
+		for {
+			n := s.NextBatch(insts)
+			if n == 0 {
+				break
+			}
+			b.process(insts[:n])
+		}
+		return b.st
+	}
+	lg := newPhaseLedger(il1, dl1)
 	for {
 		n := s.NextBatch(insts)
 		if n == 0 {
 			break
 		}
-		for i := 0; i < n; i++ {
-			iops[i] = PortOp{Addr: insts[i].PC}
-		}
-		il1.AccessBatch(iops[:n], imiss[:n])
-
-		dops = dops[:0]
-		for i := 0; i < n; i++ {
-			if insts[i].IsLoad {
-				dops = append(dops, PortOp{Addr: insts[i].Addr})
-			} else if insts[i].IsStore {
-				dops = append(dops, PortOp{Addr: insts[i].Addr, Write: true})
+		chunk := insts[:n]
+		for len(chunk) > 0 {
+			id := chunk[0].Phase
+			j := 1
+			for j < len(chunk) && chunk[j].Phase == id {
+				j++
 			}
-		}
-		dl1.AccessBatch(dops, dmiss[:len(dops)])
-
-		d := 0
-		for i := 0; i < n; i++ {
-			inst := &insts[i]
-			st.Instructions++
-			st.Cycles++ // issue slot
-			st.IAccesses++
-			if imiss[i] {
-				st.IMisses++
-				st.Cycles += mem
-				st.MissCycles += mem
+			if id != lg.cur {
+				lg.boundary(b.st, id)
 			}
-			switch {
-			case inst.IsLoad:
-				st.Loads++
-				st.DAccesses++
-				if dmiss[d] {
-					st.DMisses++
-					st.Cycles += mem
-					st.MissCycles += mem
-				} else if dExtra > 0 && inst.UseDist > 0 {
-					if stall := 1 + dExtra - int(inst.UseDist); stall > 0 {
-						st.Cycles += uint64(stall)
-						st.LoadUseStalls += uint64(stall)
-					}
-				}
-				d++
-			case inst.IsStore:
-				st.Stores++
-				st.DAccesses++
-				if dmiss[d] {
-					st.DMisses++
-					st.Cycles += mem
-					st.MissCycles += mem
-				}
-				d++
-			case inst.IsBranch:
-				st.Branches++
-				if inst.Taken {
-					st.TakenBranches++
-				}
-			}
+			b.process(chunk[:j])
+			chunk = chunk[j:]
 		}
 	}
-	return st
+	lg.finish(&b.st)
+	return b.st
 }

@@ -45,6 +45,53 @@ func TestCorpusSweepCoversFullCorpus(t *testing.T) {
 	}
 }
 
+// TestPhaseEPISweep pins the phase-aware family: the grid covers every
+// phase-annotated workload in both scenarios and modes, and every task
+// reports EPI and miss rate per working-set regime with regimes that
+// actually differ.
+func TestPhaseEPISweep(t *testing.T) {
+	phased := 0
+	for _, w := range bench.Full() {
+		if w.HasPhases() {
+			phased++
+		}
+	}
+	if phased == 0 {
+		t.Fatal("corpus has no phase-annotated workloads")
+	}
+	o := tinyOptions()
+	// phased_mix switches regimes every 40k instructions; one full
+	// cycle through all four phases needs 160k.
+	o.Instructions = 160_000
+	e := phaseEPIExperiment(o)
+	grid := e.Grid()
+	if want := 2 * 2 * phased; len(grid) != want {
+		t.Fatalf("phase-epi grid has %d tasks, want %d", len(grid), want)
+	}
+	res, err := sim.Runner{Workers: 4, Seed: 3}.Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		hot, okHot := r.Metric("p0_prop_epi")
+		cold, okCold := r.Metric("p3_prop_epi")
+		if !okHot || !okCold {
+			t.Fatalf("%s: missing per-phase EPI metrics", r.Task.Label)
+		}
+		// Phase 0 reuses 1/8 of the footprint, phase 3 walks it all at
+		// random: the cold regime must cost more energy per instruction.
+		if cold.Value <= hot.Value {
+			t.Errorf("%s: cold-phase EPI %.2f not above hot-phase %.2f", r.Task.Label, cold.Value, hot.Value)
+		}
+		if _, ok := r.Metric("p3_dl1_miss"); !ok {
+			t.Errorf("%s: missing per-phase miss rate", r.Task.Label)
+		}
+		if r.Detail == "" {
+			t.Errorf("%s: missing per-phase detail table", r.Task.Label)
+		}
+	}
+}
+
 // TestCorpusMissSweep checks the locality sweep's physics: miss rate is
 // non-increasing in capacity for every workload, and the conflict
 // adversary stays ~100 % missing even at full capacity while fitting

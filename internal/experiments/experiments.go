@@ -73,6 +73,7 @@ func RegisterAll(r *sim.Registry, o Options) {
 	r.MustRegister(mcSamplingExperiment(o))
 	r.MustRegister(corpusExperiment(o))
 	r.MustRegister(corpusMissExperiment(o))
+	r.MustRegister(phaseEPIExperiment(o))
 }
 
 // scenarios is the evaluation order of the paper's two reliability

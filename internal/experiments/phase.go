@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"edcache/internal/bench"
+	"edcache/internal/core"
+	"edcache/internal/sim"
+)
+
+// phaseEPIExperiment is the phase-aware experiment family: for every
+// phase-annotated corpus workload it segments EPI and miss rate per
+// working-set regime (phase id) instead of per run — the view a
+// run-level average hides exactly when the working set shifts
+// mid-stream. Each task reports baseline and proposed EPI per phase,
+// the per-phase saving, and the per-phase DL1 miss rate, plus a
+// consistency check that the segments sum back to the run totals.
+func phaseEPIExperiment(o Options) sim.Experiment {
+	systems := newSharedSystems()
+	return sim.Def{
+		ExpName: "phase-epi",
+		Desc:    "phase-segmented corpus sweep — EPI, saving and miss rate per working-set regime of every phase-annotated workload",
+		GridFn: func() []sim.Task {
+			var tasks []sim.Task
+			for _, s := range scenarios {
+				for _, m := range []core.Mode{core.ModeHP, core.ModeULE} {
+					for _, w := range bench.Full() {
+						if !w.HasPhases() {
+							continue
+						}
+						tasks = append(tasks, sim.Task{
+							Label: fmt.Sprintf("scenario=%v %v %s", s, m, w.Name),
+							Params: sim.P("scenario", s.String(), "mode", m.String(),
+								"workload", w.Name, "pattern", w.Pattern.String()),
+						})
+					}
+				}
+			}
+			return tasks
+		},
+		RunFn: func(t sim.Task, _ *rand.Rand) (sim.Result, error) {
+			s, err := taskScenario(t)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			m, err := modeByName(t.Params["mode"])
+			if err != nil {
+				return sim.Result{}, err
+			}
+			w, err := workloadByName(t.Params["workload"], o.Instructions)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			base, prop, err := systems.get(s)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			rb, err := base.Run(w, m)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			rp, err := prop.Run(w, m)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			if len(rp.Phases) == 0 || len(rb.Phases) != len(rp.Phases) {
+				return sim.Result{}, fmt.Errorf("experiments: %s reported %d/%d phase segments", w.Name, len(rb.Phases), len(rp.Phases))
+			}
+			ms := []sim.Metric{
+				sim.NumU("run_base_epi", rb.EPI.Total(), "pJ/i"),
+				sim.NumU("run_prop_epi", rp.EPI.Total(), "pJ/i"),
+			}
+			var detail strings.Builder
+			fmt.Fprintf(&detail, "  %-6s %12s %12s %12s %9s %9s\n",
+				"phase", "instr", "base pJ/i", "prop pJ/i", "saving", "dl1 miss")
+			for i, pp := range rp.Phases {
+				pb := rb.Phases[i]
+				saving := 100 * (1 - pp.EPI.Total()/pb.EPI.Total())
+				missPct := 100 * float64(pp.Stats.DMisses) / float64(pp.Stats.DAccesses)
+				pfx := fmt.Sprintf("p%d", pp.Phase)
+				ms = append(ms,
+					sim.NumU(pfx+"_base_epi", pb.EPI.Total(), "pJ/i"),
+					sim.NumU(pfx+"_prop_epi", pp.EPI.Total(), "pJ/i"),
+					sim.Fmt(pfx+"_saving", saving, "%.1f%%"),
+					sim.Fmt(pfx+"_dl1_miss", missPct, "%.3f%%"),
+				)
+				fmt.Fprintf(&detail, "  %-6s %12d %12.1f %12.1f %8.1f%% %8.3f%%\n",
+					pfx, pp.Stats.Instructions, pb.EPI.Total(), pp.EPI.Total(), saving, missPct)
+			}
+			return sim.Result{Metrics: ms, Detail: detail.String()}, nil
+		},
+	}
+}

@@ -16,7 +16,7 @@ func FuzzReader(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(v1.Bytes())
-	for _, o := range []V2Options{{}, {Compress: true}, {ChunkRecords: 2}} {
+	for _, o := range []V2Options{{}, {Compress: true}, {ChunkRecords: 2}, {Phases: true}, {Compress: true, Phases: true}} {
 		var v2 bytes.Buffer
 		if _, err := WriteV2(&v2, &SliceStream{Insts: sampleInsts()}, o); err != nil {
 			f.Fatal(err)
@@ -55,6 +55,7 @@ func FuzzRoundTrip(f *testing.F) {
 	f.Add(bytes.Repeat([]byte{0xA5}, 300), uint8(3))
 
 	f.Fuzz(func(t *testing.T, data []byte, mode uint8) {
+		phased := mode&2 != 0
 		insts := make([]Inst, 0, len(data)/2)
 		for i := 0; i+1 < len(data); i += 2 {
 			inst := Inst{PC: uint32(i) * 4, UseDist: data[i+1] % 8}
@@ -66,9 +67,12 @@ func FuzzRoundTrip(f *testing.F) {
 			case 3:
 				inst.IsBranch, inst.Taken = true, data[i+1]%2 == 0
 			}
+			if phased {
+				inst.Phase = data[i] % 5
+			}
 			insts = append(insts, inst)
 		}
-		o := V2Options{Compress: mode&1 != 0, ChunkRecords: 1 + int(mode>>1)}
+		o := V2Options{Compress: mode&1 != 0, Phases: phased, ChunkRecords: 1 + int(mode>>2)}
 
 		var v1, v2 bytes.Buffer
 		if _, err := Write(&v1, &SliceStream{Insts: insts}); err != nil {
@@ -77,22 +81,32 @@ func FuzzRoundTrip(f *testing.F) {
 		if _, err := WriteV2(&v2, &SliceStream{Insts: insts}, o); err != nil {
 			t.Fatal(err)
 		}
-		for name, buf := range map[string]*bytes.Buffer{"v1": &v1, "v2": &v2} {
-			r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		// v1 is frozen and discards phase annotations; v2 with the
+		// phase flag round-trips them bit-exactly.
+		stripped := make([]Inst, len(insts))
+		copy(stripped, insts)
+		for i := range stripped {
+			stripped[i].Phase = 0
+		}
+		for name, tc := range map[string]struct {
+			buf  *bytes.Buffer
+			want []Inst
+		}{"v1": {&v1, stripped}, "v2": {&v2, insts}} {
+			r, err := NewReader(bytes.NewReader(tc.buf.Bytes()))
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
-			for i, want := range insts {
+			for i, want := range tc.want {
 				got, ok := r.Next()
 				if !ok {
-					t.Fatalf("%s: stream ended at record %d of %d (err: %v)", name, i, len(insts), r.Err())
+					t.Fatalf("%s: stream ended at record %d of %d (err: %v)", name, i, len(tc.want), r.Err())
 				}
 				if got != want {
 					t.Fatalf("%s: record %d: %+v != %+v", name, i, got, want)
 				}
 			}
 			if _, ok := r.Next(); ok {
-				t.Fatalf("%s: stream did not end after %d records", name, len(insts))
+				t.Fatalf("%s: stream did not end after %d records", name, len(tc.want))
 			}
 			if r.Err() != nil {
 				t.Fatalf("%s: %v", name, r.Err())

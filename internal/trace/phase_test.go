@@ -1,0 +1,288 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+)
+
+// phasedSample returns a stream crossing three phases.
+func phasedSample() []Inst {
+	insts := make([]Inst, 90)
+	for i := range insts {
+		insts[i] = Inst{PC: uint32(i * 4), Phase: uint8(i / 30)}
+		if i%3 == 0 {
+			insts[i].IsLoad = true
+			insts[i].Addr = uint32(0x1000 + i*4)
+			insts[i].UseDist = uint8(1 + i%3)
+		}
+	}
+	return insts
+}
+
+func TestV2PhaseRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		o    V2Options
+	}{
+		{"plain", V2Options{Phases: true}},
+		{"gzip", V2Options{Phases: true, Compress: true}},
+		{"tiny-chunks", V2Options{Phases: true, ChunkRecords: 7}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			insts := phasedSample()
+			data := writeV2(t, insts, tc.o)
+			r, err := NewReader(bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.HasPhases() {
+				t.Error("phase flag not advertised")
+			}
+			got := readAll(t, r)
+			if r.Err() != nil {
+				t.Fatal(r.Err())
+			}
+			if !reflect.DeepEqual(got, insts) {
+				t.Error("phased records did not round-trip bit-exactly")
+			}
+			if r.UnadvertisedPhaseBytes() != 0 {
+				t.Errorf("advertised phases counted as stray: %d", r.UnadvertisedPhaseBytes())
+			}
+		})
+	}
+}
+
+func TestV2PhaselessWriteDropsPhaseIDs(t *testing.T) {
+	// Without V2Options.Phases the writer keeps byte 10 reserved-zero,
+	// so the file reads exactly like a pre-phase v2 trace.
+	data := writeV2(t, phasedSample(), V2Options{})
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HasPhases() {
+		t.Error("phase flag set without V2Options.Phases")
+	}
+	for i, inst := range readAll(t, r) {
+		if inst.Phase != 0 {
+			t.Fatalf("record %d: phase %d leaked into a phase-less container", i, inst.Phase)
+		}
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if r.UnadvertisedPhaseBytes() != 0 {
+		t.Errorf("clean phase-less file reported %d stray phase bytes", r.UnadvertisedPhaseBytes())
+	}
+}
+
+func TestV1WriteDropsPhaseIDs(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Write(&buf, &SliceStream{Insts: phasedSample()}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HasPhases() {
+		t.Error("v1 cannot advertise phases")
+	}
+	for i, inst := range readAll(t, r) {
+		if inst.Phase != 0 {
+			t.Fatalf("record %d: v1 carried phase %d", i, inst.Phase)
+		}
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+func TestUnadvertisedPhaseBytesCounted(t *testing.T) {
+	// A phase-annotated body whose header lost the phase flag: records
+	// still replay (reserved bytes are ignored) but the reader counts
+	// the mismatch so tools can surface it.
+	insts := phasedSample()
+	data := writeV2(t, insts, V2Options{Phases: true})
+	binary.LittleEndian.PutUint32(data[8:12], 0) // clear stream flags
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HasPhases() {
+		t.Fatal("cleared flag still advertised")
+	}
+	got := readAll(t, r)
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if len(got) != len(insts) {
+		t.Fatalf("replayed %d of %d records", len(got), len(insts))
+	}
+	want := uint64(0)
+	for _, inst := range insts {
+		if inst.Phase != 0 {
+			want++
+		}
+	}
+	if r.UnadvertisedPhaseBytes() != want {
+		t.Errorf("stray phase bytes %d, want %d", r.UnadvertisedPhaseBytes(), want)
+	}
+}
+
+func TestWithPhaseStampsEverything(t *testing.T) {
+	s := WithPhase(&SliceStream{Insts: phasedSample()}, 9)
+	if !HasPhases(s) {
+		t.Error("WithPhase stream must advertise phases")
+	}
+	buf := make([]Inst, 17)
+	seen := 0
+	for {
+		n := s.NextBatch(buf)
+		if n == 0 {
+			break
+		}
+		for _, inst := range buf[:n] {
+			if inst.Phase != 9 {
+				t.Fatalf("phase %d, want 9", inst.Phase)
+			}
+		}
+		seen += n
+	}
+	if seen != len(phasedSample()) {
+		t.Errorf("stamped %d records, want %d", seen, len(phasedSample()))
+	}
+}
+
+func TestTeeCapturesIdenticalStream(t *testing.T) {
+	// The tee contract: the consumer sees the untouched sequence and
+	// the captured file replays bit-identically — scalar and batch.
+	insts := phasedSample()
+	for _, batch := range []bool{false, true} {
+		var sink bytes.Buffer
+		vw, err := NewV2Writer(&sink, V2Options{Phases: true, ChunkRecords: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var replayed []Inst
+		var teeErr func() error
+		if batch {
+			tee := TeeBatch(&SliceStream{Insts: insts}, vw)
+			buf := make([]Inst, 13)
+			for {
+				n := tee.NextBatch(buf)
+				if n == 0 {
+					break
+				}
+				replayed = append(replayed, buf[:n]...)
+			}
+			teeErr = tee.Err
+		} else {
+			tee := Tee(&SliceStream{Insts: insts}, vw)
+			for {
+				inst, ok := tee.Next()
+				if !ok {
+					break
+				}
+				replayed = append(replayed, inst)
+			}
+			teeErr = tee.Err
+		}
+		if err := teeErr(); err != nil {
+			t.Fatal(err)
+		}
+		if err := vw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(replayed, insts) {
+			t.Errorf("batch=%v: tee altered the replayed sequence", batch)
+		}
+		r, err := NewReader(bytes.NewReader(sink.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		captured := readAll(t, r)
+		if r.Err() != nil {
+			t.Fatal(r.Err())
+		}
+		if !reflect.DeepEqual(captured, insts) {
+			t.Errorf("batch=%v: captured file does not replay bit-identically", batch)
+		}
+	}
+}
+
+func TestTeeForwardsPhaseAnnotation(t *testing.T) {
+	var sink bytes.Buffer
+	vw, err := NewV2Writer(&sink, V2Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if HasPhases(Tee(&SliceStream{}, vw)) {
+		t.Error("tee over an unphased stream claims phases")
+	}
+	if !HasPhases(TeeBatch(WithPhase(&SliceStream{Insts: sample()}, 1), vw)) {
+		t.Error("tee over a phased stream lost the annotation")
+	}
+}
+
+// failAfter fails every write once limit bytes have been accepted.
+type failAfter struct {
+	limit int
+	wrote int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.wrote+len(p) > f.limit {
+		return 0, errSinkFull
+	}
+	f.wrote += len(p)
+	return len(p), nil
+}
+
+var errSinkFull = bytes.ErrTooLarge
+
+func TestTeeSinkFailureIsSticky(t *testing.T) {
+	insts := make([]Inst, 4096)
+	for i := range insts {
+		insts[i] = Inst{PC: uint32(i)}
+	}
+	vw, err := NewV2Writer(&failAfter{limit: 64}, V2Options{ChunkRecords: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tee := TeeBatch(&SliceStream{Insts: insts}, vw)
+	buf := make([]Inst, 64)
+	for tee.NextBatch(buf) != 0 {
+	}
+	if tee.Err() == nil {
+		t.Error("sink failure not reported by Err")
+	}
+	if vw.Close() == nil {
+		t.Error("Close after sink failure must fail")
+	}
+}
+
+func TestV2WriterRejectsAppendAfterClose(t *testing.T) {
+	var sink bytes.Buffer
+	vw, err := NewV2Writer(&sink, V2Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vw.Append(sample()...); err != nil {
+		t.Fatal(err)
+	}
+	if err := vw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := vw.Append(Inst{}); err == nil {
+		t.Error("append after Close accepted")
+	}
+	if err := vw.Close(); err != nil {
+		t.Errorf("second Close not idempotent: %v", err)
+	}
+	if vw.Count() != int64(len(sample())) {
+		t.Errorf("Count() = %d, want %d", vw.Count(), len(sample()))
+	}
+}

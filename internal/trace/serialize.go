@@ -40,8 +40,12 @@ const (
 // the overflow path is testable without writing 2^32 records.
 var maxV1Records uint64 = math.MaxUint32
 
-// encodeRecord serialises one instruction into a 12-byte record.
-func encodeRecord(rec []byte, inst Inst) {
+// encodeRecord serialises one instruction into a 12-byte record. Byte
+// 10 carries the phase id only when the stream advertises phases (v2
+// stream-flag bit 1); otherwise it stays reserved-zero, which is how
+// the v1 writer (v1 is frozen) and phase-less v2 writers discard phase
+// annotations.
+func encodeRecord(rec []byte, inst Inst, phases bool) {
 	binary.LittleEndian.PutUint32(rec[0:4], inst.PC)
 	binary.LittleEndian.PutUint32(rec[4:8], inst.Addr)
 	var flags byte
@@ -60,16 +64,21 @@ func encodeRecord(rec []byte, inst Inst) {
 	rec[8] = flags
 	rec[9] = inst.UseDist
 	rec[10], rec[11] = 0, 0
+	if phases {
+		rec[10] = inst.Phase
+	}
 }
 
 // decodeRecord deserialises one 12-byte record, rejecting reserved flag
-// bits.
-func decodeRecord(rec []byte) (Inst, error) {
+// bits. Byte 10 is decoded as the phase id only when the stream
+// advertises phases; in phase-less streams it is reserved and ignored,
+// per the compatibility rules of docs/TRACEFORMAT.md.
+func decodeRecord(rec []byte, phases bool) (Inst, error) {
 	flags := rec[8]
 	if flags&^byte(flagKnown) != 0 {
 		return Inst{}, fmt.Errorf("trace: unknown record flag bits %#02x", flags&^byte(flagKnown))
 	}
-	return Inst{
+	inst := Inst{
 		PC:       binary.LittleEndian.Uint32(rec[0:4]),
 		Addr:     binary.LittleEndian.Uint32(rec[4:8]),
 		IsLoad:   flags&flagLoad != 0,
@@ -77,7 +86,11 @@ func decodeRecord(rec []byte) (Inst, error) {
 		IsBranch: flags&flagBranch != 0,
 		Taken:    flags&flagTaken != 0,
 		UseDist:  rec[9],
-	}, nil
+	}
+	if phases {
+		inst.Phase = rec[10]
+	}
+	return inst, nil
 }
 
 // Write serialises the full stream to w in format v1 (flat records, a
@@ -85,7 +98,9 @@ func decodeRecord(rec []byte) (Inst, error) {
 // compatibility with existing archives; new traces should use WriteV2,
 // which streams in bounded memory on both ends and compresses. Streams
 // with 2^32 or more records do not fit the v1 trailer and are rejected
-// with an error (use WriteV2).
+// with an error (use WriteV2). v1 is frozen: phase annotations are
+// discarded (record byte 10 stays reserved-zero) — phase-aware traces
+// need WriteV2 with V2Options.Phases.
 func Write(w io.Writer, s Stream) (int, error) {
 	bw := bufio.NewWriter(w)
 	// The record count lives in a 4-byte *trailer* rather than the
@@ -107,7 +122,7 @@ func Write(w io.Writer, s Stream) (int, error) {
 		if count >= maxV1Records {
 			return int(count), fmt.Errorf("trace: stream exceeds %d records, too long for format v1 (use WriteV2)", maxV1Records)
 		}
-		encodeRecord(rec[:], inst)
+		encodeRecord(rec[:], inst, false)
 		if _, err := bw.Write(rec[:]); err != nil {
 			return int(count), err
 		}
@@ -131,6 +146,13 @@ type Reader struct {
 	err     error
 	done    bool
 	read    uint64 // records streamed so far, checked against the trailer
+
+	// stray counts records whose reserved phase byte (record byte 10)
+	// is non-zero in a stream that does not advertise phases. The spec
+	// makes readers ignore reserved bytes, so these records replay with
+	// Phase 0; the count lets tools (tracegen -verify) surface the
+	// header/record mismatch instead of losing it silently.
+	stray uint64
 
 	br *bufio.Reader // v1: record source; v2: raw (pre-decompression) source
 
@@ -172,6 +194,19 @@ func (r *Reader) Version() int { return r.version }
 // false for v1).
 func (r *Reader) Compressed() bool { return r.v2 != nil && r.v2.compressed }
 
+// HasPhases implements PhaseAnnotated: it reports whether the file
+// advertises per-record phase ids (v2 stream-flag bit 1; always false
+// for v1 and phase-less v2 files).
+func (r *Reader) HasPhases() bool { return r.v2 != nil && r.v2.phases }
+
+// UnadvertisedPhaseBytes counts the records streamed so far whose
+// reserved phase byte was non-zero although the stream does not
+// advertise phases. Those records replay with Phase 0 (reserved bytes
+// are ignored by spec); a non-zero count means the file was produced by
+// a writer that stamped phase ids without setting stream-flag bit 1,
+// and tools should report it rather than ignore it silently.
+func (r *Reader) UnadvertisedPhaseBytes() uint64 { return r.stray }
+
 // Next implements Stream.
 func (r *Reader) Next() (Inst, bool) {
 	if r.done || r.err != nil {
@@ -206,11 +241,14 @@ func (r *Reader) nextV1() (Inst, bool) {
 		}
 		return Inst{}, false
 	}
-	inst, err := decodeRecord(rec[:])
+	inst, err := decodeRecord(rec[:], false)
 	if err != nil {
 		r.done = true
 		r.err = fmt.Errorf("%w (record %d)", err, r.read)
 		return Inst{}, false
+	}
+	if rec[10] != 0 {
+		r.stray++
 	}
 	r.read++
 	return inst, true

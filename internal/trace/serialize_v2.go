@@ -18,8 +18,12 @@ import (
 // files without ever being materialised.
 const (
 	// v2 header stream-flag bits. Unknown bits are rejected on read.
-	v2FlagGzip  = 1 << 0
-	v2FlagKnown = v2FlagGzip
+	// Bit 1 advertises per-record phase ids in record byte 10; readers
+	// without phase support reject it loudly rather than replaying a
+	// file whose segmentation they would silently drop on re-write.
+	v2FlagGzip   = 1 << 0
+	v2FlagPhases = 1 << 1
+	v2FlagKnown  = v2FlagGzip | v2FlagPhases
 
 	// DefaultChunkRecords is the writer's default chunk granularity:
 	// big enough to amortise per-chunk overhead and give gzip useful
@@ -31,7 +35,7 @@ const (
 	MaxChunkRecords = 1 << 20
 )
 
-// V2Options configures WriteV2.
+// V2Options configures WriteV2 and NewV2Writer.
 type V2Options struct {
 	// Compress gzips the body (header stays plain so Version/flags are
 	// readable without decompression).
@@ -39,6 +43,11 @@ type V2Options struct {
 	// ChunkRecords is the number of records per chunk; 0 means
 	// DefaultChunkRecords.
 	ChunkRecords int
+	// Phases stamps each record's phase id into record byte 10 and
+	// sets stream-flag bit 1 so readers know to decode it. Without it
+	// phase annotations are discarded (byte 10 stays reserved-zero) and
+	// the file reads identically to a pre-phase v2 trace.
+	Phases bool
 }
 
 func (o V2Options) chunkRecords() (int, error) {
@@ -58,9 +67,50 @@ func (o V2Options) chunkRecords() (int, error) {
 // in bulk. Unlike v1 there is no practical length limit (the trailer is
 // 64-bit).
 func WriteV2(w io.Writer, s Stream, o V2Options) (int64, error) {
-	chunkRecs, err := o.chunkRecords()
+	vw, err := NewV2Writer(w, o)
 	if err != nil {
 		return 0, err
+	}
+	insts := make([]Inst, vw.chunkCap)
+	for {
+		n := Fill(s, insts)
+		if n == 0 {
+			break
+		}
+		if err := vw.Append(insts[:n]...); err != nil {
+			return vw.Count(), err
+		}
+	}
+	return vw.Count(), vw.Close()
+}
+
+// V2Writer is the push-side counterpart of WriteV2: records are
+// appended as they become available instead of being pulled from a
+// Stream, which is what lets a live simulation capture its own replay
+// (TeeStream) or several phases append into one container
+// (System.RunDutyCycleCapture). Memory use is bounded by one chunk. The
+// container is invalid until Close writes the end marker and trailer.
+type V2Writer struct {
+	bw     *bufio.Writer
+	body   io.Writer // bw or the gzip layer
+	gz     *gzip.Writer
+	phases bool
+
+	chunkCap int
+	raw      []byte // one encoded chunk: 4-byte count + records
+	n        int    // records pending in raw
+	total    int64  // records flushed + pending
+
+	err    error
+	closed bool
+}
+
+// NewV2Writer writes the v2 header to w and returns a writer ready to
+// Append records.
+func NewV2Writer(w io.Writer, o V2Options) (*V2Writer, error) {
+	chunkRecs, err := o.chunkRecords()
+	if err != nil {
+		return nil, err
 	}
 	bw := bufio.NewWriter(w)
 	var hdr [16]byte
@@ -70,47 +120,96 @@ func WriteV2(w io.Writer, s Stream, o V2Options) (int64, error) {
 	if o.Compress {
 		flags |= v2FlagGzip
 	}
+	if o.Phases {
+		flags |= v2FlagPhases
+	}
 	binary.LittleEndian.PutUint32(hdr[8:12], flags)
 	binary.LittleEndian.PutUint32(hdr[12:16], uint32(chunkRecs))
 	if _, err := bw.Write(hdr[:]); err != nil {
-		return 0, err
+		return nil, err
 	}
-
-	var body io.Writer = bw
-	var gz *gzip.Writer
+	vw := &V2Writer{
+		bw:       bw,
+		body:     bw,
+		phases:   o.Phases,
+		chunkCap: chunkRecs,
+		raw:      make([]byte, 4+chunkRecs*recordBytes),
+	}
 	if o.Compress {
-		gz = gzip.NewWriter(bw)
-		body = gz
+		vw.gz = gzip.NewWriter(bw)
+		vw.body = vw.gz
 	}
+	return vw, nil
+}
 
-	insts := make([]Inst, chunkRecs)
-	raw := make([]byte, 4+chunkRecs*recordBytes)
-	var total int64
-	for {
-		n := Fill(s, insts)
-		if n == 0 {
-			break
+// Append encodes the instructions into the pending chunk, flushing full
+// chunks to the underlying writer. A write failure is sticky: it is
+// returned now and by every later Append/Close.
+func (vw *V2Writer) Append(insts ...Inst) error {
+	if vw.err != nil {
+		return vw.err
+	}
+	if vw.closed {
+		return fmt.Errorf("trace: append to closed V2Writer")
+	}
+	for _, inst := range insts {
+		encodeRecord(vw.raw[4+vw.n*recordBytes:], inst, vw.phases)
+		vw.n++
+		vw.total++
+		if vw.n == vw.chunkCap {
+			if err := vw.flushChunk(); err != nil {
+				return err
+			}
 		}
-		binary.LittleEndian.PutUint32(raw[0:4], uint32(n))
-		for i := 0; i < n; i++ {
-			encodeRecord(raw[4+i*recordBytes:], insts[i])
-		}
-		if _, err := body.Write(raw[:4+n*recordBytes]); err != nil {
-			return total, err
-		}
-		total += int64(n)
+	}
+	return nil
+}
+
+// flushChunk writes the pending records (if any) as one chunk.
+func (vw *V2Writer) flushChunk() error {
+	if vw.n == 0 {
+		return nil
+	}
+	binary.LittleEndian.PutUint32(vw.raw[0:4], uint32(vw.n))
+	if _, err := vw.body.Write(vw.raw[:4+vw.n*recordBytes]); err != nil {
+		vw.err = err
+		return err
+	}
+	vw.n = 0
+	return nil
+}
+
+// Count returns the number of records appended so far.
+func (vw *V2Writer) Count() int64 { return vw.total }
+
+// Close flushes the pending chunk, writes the end marker and the
+// 64-bit record-count trailer, and flushes every buffering layer. Close
+// is idempotent; later calls return the first outcome.
+func (vw *V2Writer) Close() error {
+	if vw.closed || vw.err != nil {
+		return vw.err
+	}
+	vw.closed = true
+	if err := vw.flushChunk(); err != nil {
+		return err
 	}
 	var end [12]byte // 4-byte zero count + 8-byte total trailer
-	binary.LittleEndian.PutUint64(end[4:12], uint64(total))
-	if _, err := body.Write(end[:]); err != nil {
-		return total, err
+	binary.LittleEndian.PutUint64(end[4:12], uint64(vw.total))
+	if _, err := vw.body.Write(end[:]); err != nil {
+		vw.err = err
+		return err
 	}
-	if gz != nil {
-		if err := gz.Close(); err != nil {
-			return total, err
+	if vw.gz != nil {
+		if err := vw.gz.Close(); err != nil {
+			vw.err = err
+			return err
 		}
 	}
-	return total, bw.Flush()
+	if err := vw.bw.Flush(); err != nil {
+		vw.err = err
+		return err
+	}
+	return nil
 }
 
 // readerV2 holds the v2-specific decoding state of a Reader.
@@ -118,6 +217,7 @@ type readerV2 struct {
 	body       io.Reader // raw or gzip-decompressed chunk source
 	gz         *gzip.Reader
 	compressed bool
+	phases     bool // stream-flag bit 1: record byte 10 is a phase id
 	chunkCap   int
 
 	chunk []Inst // decoded records of the current chunk
@@ -142,6 +242,7 @@ func newReaderV2(br *bufio.Reader) (*readerV2, error) {
 	}
 	v2 := &readerV2{
 		compressed: flags&v2FlagGzip != 0,
+		phases:     flags&v2FlagPhases != 0,
 		chunkCap:   int(chunkCap),
 		raw:        make([]byte, int(chunkCap)*recordBytes),
 	}
@@ -217,10 +318,13 @@ func (r *Reader) loadChunk() bool {
 	}
 	v2.chunk = v2.chunk[:int(n)]
 	for i := range v2.chunk {
-		inst, err := decodeRecord(raw[i*recordBytes:])
+		inst, err := decodeRecord(raw[i*recordBytes:], v2.phases)
 		if err != nil {
 			r.err = fmt.Errorf("%w (record %d)", err, r.read+uint64(i))
 			return false
+		}
+		if !v2.phases && raw[i*recordBytes+10] != 0 {
+			r.stray++
 		}
 		v2.chunk[i] = inst
 	}

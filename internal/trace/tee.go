@@ -1,0 +1,85 @@
+package trace
+
+// Trace capture from live replay. A TeeStream sits between a stream and
+// its consumer (cpu.Run, a duty-cycle schedule) and writes every
+// instruction through to a V2Writer as it is replayed, closing the loop
+// the ROADMAP named: a simulation segment — including its phase ids —
+// becomes a v2 trace file that later offline sweeps replay
+// byte-identically. The tee is transparent: the consumer observes
+// exactly the underlying sequence, and the captured file replays with
+// bit-identical cpu.Stats to the live run.
+//
+// The V2Writer is injected rather than owned so several tees can append
+// into one container (RunDutyCycleCapture tags and captures each
+// schedule phase in turn); the caller finalises the file with
+// V2Writer.Close once the last tee is drained.
+
+// TeeStream replays an underlying Stream unchanged while appending
+// every instruction to a V2Writer. A sink failure is sticky: the stream
+// ends early (Next returns false) and Err reports the write error, so a
+// truncated capture can never pass as a complete one.
+type TeeStream struct {
+	s   Stream
+	vw  *V2Writer
+	err error
+}
+
+// Tee returns a TeeStream capturing s into vw. Use TeeBatch when s
+// implements BatchStream, so replay and capture keep their bulk paths.
+func Tee(s Stream, vw *V2Writer) *TeeStream {
+	return &TeeStream{s: s, vw: vw}
+}
+
+// Next implements Stream.
+func (t *TeeStream) Next() (Inst, bool) {
+	if t.err != nil {
+		return Inst{}, false
+	}
+	inst, ok := t.s.Next()
+	if !ok {
+		return Inst{}, false
+	}
+	if err := t.vw.Append(inst); err != nil {
+		t.err = err
+		return Inst{}, false
+	}
+	return inst, true
+}
+
+// HasPhases implements PhaseAnnotated by forwarding the underlying
+// stream's annotation, so teeing never changes how a consumer segments
+// its metrics.
+func (t *TeeStream) HasPhases() bool { return HasPhases(t.s) }
+
+// Err reports a capture-sink write failure. A nil Err after the stream
+// is drained means every replayed instruction reached the writer.
+func (t *TeeStream) Err() error { return t.err }
+
+// TeeBatchStream is TeeStream for batched streams: NextBatch pulls one
+// chunk from the underlying stream and appends it to the writer in one
+// call, preserving the replay fast path end to end.
+type TeeBatchStream struct {
+	TeeStream
+	bs BatchStream
+}
+
+// TeeBatch returns a TeeBatchStream capturing s into vw.
+func TeeBatch(s BatchStream, vw *V2Writer) *TeeBatchStream {
+	return &TeeBatchStream{TeeStream: TeeStream{s: s, vw: vw}, bs: s}
+}
+
+// NextBatch implements BatchStream.
+func (t *TeeBatchStream) NextBatch(buf []Inst) int {
+	if t.err != nil {
+		return 0
+	}
+	n := t.bs.NextBatch(buf)
+	if n == 0 {
+		return 0
+	}
+	if err := t.vw.Append(buf[:n]...); err != nil {
+		t.err = err
+		return 0
+	}
+	return n
+}
