@@ -15,9 +15,12 @@ import (
 
 	"edcache/internal/bench"
 	"edcache/internal/bitcell"
+	"edcache/internal/cache"
 	"edcache/internal/core"
 	"edcache/internal/ecc"
+	"edcache/internal/experiments"
 	"edcache/internal/faults"
+	"edcache/internal/trace"
 	"edcache/internal/wcet"
 	"edcache/internal/yield"
 )
@@ -232,6 +235,81 @@ func BenchmarkImportanceSampling(b *testing.B) {
 		pf = bitcell.MonteCarloFailureProb(cell, 0.35, 10_000, int64(i)).Pf
 	}
 	b.ReportMetric(pf*1e6, "Pf-x1e6")
+}
+
+// BenchmarkCorpusSweep is the decode-once before/after: the corpus
+// sweeps as the experiment registry wires them — every workload on
+// both designs across (scenario × mode), plus the corpus-miss capacity
+// axis (ways 1..8) — once regenerating every workload stream per
+// replay (the pre-arena behaviour) and once replaying shared slabs
+// from one arena cache built inside the timed region, so generation
+// happens exactly once per workload and is amortised across all twelve
+// replays the grid performs. Metrics are bit-identical between the two
+// variants (the determinism tests lock that in); only the wall clock
+// moves.
+func BenchmarkCorpusSweep(b *testing.B) {
+	const sweepInstructions = 60_000
+	workloads := bench.Full()
+	for i := range workloads {
+		workloads[i] = workloads[i].ScaledTo(sweepInstructions)
+	}
+	scenarios := []yield.Scenario{yield.ScenarioA, yield.ScenarioB}
+	modes := []core.Mode{core.ModeHP, core.ModeULE}
+	ways := []int{1, 2, 4, 8}
+	// Size every system once, outside the timer: the sweep under test is
+	// replay, not the design methodology.
+	systems := map[yield.Scenario][2]*core.System{}
+	for _, s := range scenarios {
+		systems[s] = [2]*core.System{
+			core.MustNewSystem(core.PaperConfig(s, core.Baseline)),
+			core.MustNewSystem(core.PaperConfig(s, core.Proposed)),
+		}
+	}
+	replays := 2*len(modes)*2 + len(ways) // full-system grid points + capacity points, per workload
+	replayed := int64(replays * len(workloads) * sweepInstructions)
+	sweep := func(b *testing.B, stream func(w bench.Workload) trace.Stream,
+		run func(sys *core.System, w bench.Workload, m core.Mode) (core.Report, error)) {
+		b.Helper()
+		for _, s := range scenarios {
+			for _, m := range modes {
+				for _, w := range workloads {
+					for _, sys := range systems[s] {
+						if _, err := run(sys, w, m); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}
+		}
+		for _, w := range workloads {
+			for _, k := range ways {
+				dl1, err := cache.New(cache.Config{Sets: 32, Ways: k, LineBytes: 32})
+				if err != nil {
+					b.Fatal(err)
+				}
+				experiments.ReplayDataRefs(stream(w), dl1)
+			}
+		}
+	}
+	b.Run("generator", func(b *testing.B) {
+		b.SetBytes(replayed)
+		for i := 0; i < b.N; i++ {
+			sweep(b, func(w bench.Workload) trace.Stream { return w.Stream() },
+				func(sys *core.System, w bench.Workload, m core.Mode) (core.Report, error) {
+					return sys.Run(w, m)
+				})
+		}
+	})
+	b.Run("arena", func(b *testing.B) {
+		b.SetBytes(replayed)
+		for i := 0; i < b.N; i++ {
+			arenas := bench.NewArenaCache() // built inside the timer: the sweep pays its one generation
+			sweep(b, func(w bench.Workload) trace.Stream { return arenas.Get(w).Cursor() },
+				func(sys *core.System, w bench.Workload, m core.Mode) (core.Report, error) {
+					return sys.RunArena(w.Name, arenas.Get(w), m)
+				})
+		}
+	})
 }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed

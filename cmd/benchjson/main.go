@@ -1,0 +1,130 @@
+// Command benchjson converts `go test -bench` text output into
+// machine-readable JSON, so CI's bench-smoke step can archive a
+// BENCH_<toolchain>.json benchmark trajectory next to the raw text —
+// per-benchmark iteration counts, ns/op and every custom
+// b.ReportMetric value (EPI savings, MB/s, cell sizes), keyed by unit.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 1x ./... | benchjson -o BENCH.json
+//	benchjson bench-smoke.txt
+//
+// Lines that are not benchmark results (goos/pkg banners, PASS, ok)
+// are skipped; the package of each benchmark is tracked from the
+// interleaved "pkg:" banners.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"edcache/internal/cli"
+)
+
+func main() {
+	cli.Main("benchjson", run, nil)
+}
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Pkg        string `json:"pkg,omitempty"`
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	// Metrics maps a unit ("ns/op", "MB/s", "EPI-saving-%") to its
+	// value; encoding/json emits keys sorted, so output is stable.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// run is the testable driver body.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	out := fs.String("o", "", "output JSON file (default: stdout)")
+	if err := cli.Parse(fs, args); err != nil {
+		return err
+	}
+	in := io.Reader(os.Stdin)
+	switch rest := fs.Args(); len(rest) {
+	case 0:
+	case 1:
+		f, err := os.Open(rest[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	default:
+		return fmt.Errorf("at most one input file, got %d", len(rest))
+	}
+	results, err := Parse(in)
+	if err != nil {
+		return err
+	}
+	enc, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		_, err := stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(*out, enc, 0o644)
+}
+
+// Parse reads `go test -bench` output and returns every benchmark
+// result in order. Malformed benchmark lines are an error — silent
+// drops would punch holes in the trajectory.
+func Parse(r io.Reader) ([]Result, error) {
+	var results []Result
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "pkg:") {
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// A result line is "Name N value unit [value unit ...]"; a
+		// Benchmark-prefixed line whose second field is not an integer
+		// (a --- FAIL header, prose) is not one and is skipped.
+		if len(fields) < 2 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		// From here the line claims to be a result; a missing unit or a
+		// truncated value/unit pair is corruption, not skippable noise.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			return nil, fmt.Errorf("benchjson: truncated benchmark line %q", line)
+		}
+		res := Result{Pkg: pkg, Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad metric value %q in %q", fields[i], line)
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		results = append(results, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("benchjson: no benchmark results in input")
+	}
+	return results, nil
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: edcache
+cpu: Intel(R) Xeon(R)
+BenchmarkCorpusSweep/generator         	       3	 684058677 ns/op	  18.95 MB/s
+BenchmarkCorpusSweep/arena             	       3	 395374507 ns/op	  32.78 MB/s
+BenchmarkFig4ULEMode/scenarioA-8       	       1	 50659626 ns/op	        41.88 EPI-saving-%	         2.980 time-increase-%
+PASS
+ok  	edcache	13.157s
+pkg: edcache/internal/bench
+BenchmarkArenaReplay/arena-8           	     747	   1556239 ns/op	  64.26 MB/s
+PASS
+`
+
+func TestParseSample(t *testing.T) {
+	results, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(results))
+	}
+	first := results[0]
+	if first.Pkg != "edcache" || first.Name != "BenchmarkCorpusSweep/generator" || first.Iterations != 3 {
+		t.Fatalf("first result = %+v", first)
+	}
+	if first.Metrics["ns/op"] != 684058677 || first.Metrics["MB/s"] != 18.95 {
+		t.Fatalf("first metrics = %+v", first.Metrics)
+	}
+	fig4 := results[2]
+	if fig4.Metrics["EPI-saving-%"] != 41.88 || fig4.Metrics["time-increase-%"] != 2.980 {
+		t.Fatalf("custom ReportMetric values lost: %+v", fig4.Metrics)
+	}
+	if results[3].Pkg != "edcache/internal/bench" {
+		t.Fatalf("pkg banner not tracked: %+v", results[3])
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Fatal("benchmark-free input accepted")
+	}
+}
+
+func TestParseRejectsTruncatedResultLine(t *testing.T) {
+	// A value with its unit torn off must error, not silently punch a
+	// hole in the trajectory.
+	in := "BenchmarkX/arena 3 395374507 ns/op 32.78\n"
+	if _, err := Parse(strings.NewReader(in)); err == nil {
+		t.Fatal("truncated result line accepted")
+	}
+	// Non-result Benchmark-prefixed lines are still skippable noise.
+	res, err := Parse(strings.NewReader("--- FAIL: BenchmarkY\nBenchmarkY failed somehow\n" + sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(res))
+	}
+}
+
+func TestRunWritesJSONFile(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(in, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "BENCH.json")
+	if err := run([]string{"-o", out, in}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []Result
+	if err := json.Unmarshal(data, &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 || results[1].Name != "BenchmarkCorpusSweep/arena" {
+		t.Fatalf("decoded %+v", results)
+	}
+}
+
+func TestRunToStdout(t *testing.T) {
+	in := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(in, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{in}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"BenchmarkArenaReplay/arena-8"`) {
+		t.Fatalf("stdout output missing results:\n%s", out.String())
+	}
+}

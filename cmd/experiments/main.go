@@ -6,16 +6,21 @@
 // Usage:
 //
 //	experiments [-run name,...|all] [-workers N] [-format text|json|csv]
-//	            [-seed S] [-instructions N] [-trials N] [-list]
+//	            [-seed S] [-instructions N] [-trials N] [-trace f.trace,...]
+//	            [-list]
 //
 // Experiment names may be unique prefixes ("rel" for "reliability").
 // For a fixed -seed, output is byte-identical for every -workers value.
+// -trace adds captured trace files (tracegen output, live captures) to
+// the corpus/corpus-miss/phase-epi sweeps as file-backed grid points;
+// each file is decoded once and replayed from every point.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"strings"
 
 	"edcache/internal/cli"
 	"edcache/internal/experiments"
@@ -37,17 +42,25 @@ func run(args []string, stdout io.Writer) error {
 		seed         = fs.Int64("seed", 0, "master seed for every Monte-Carlo campaign")
 		instructions = fs.Int("instructions", 300_000, "dynamic instructions per benchmark run")
 		trials       = fs.Int("trials", 2000, "silicon samples per reliability campaign")
+		traceFiles   = fs.String("trace", "", "comma-separated captured .trace files to sweep as file-backed grid points (corpus, corpus-miss, phase-epi)")
 		list         = fs.Bool("list", false, "list registered experiments and exit")
 	)
 	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
 
+	var traces []string
+	for _, t := range strings.Split(*traceFiles, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			traces = append(traces, t)
+		}
+	}
 	reg := sim.NewRegistry()
 	experiments.RegisterAll(reg, experiments.Options{
 		Instructions: *instructions,
 		Trials:       *trials,
 		Workers:      *workers,
+		TraceFiles:   traces,
 	})
 
 	if *list {

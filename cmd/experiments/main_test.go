@@ -2,8 +2,13 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"edcache/internal/bench"
+	"edcache/internal/trace"
 )
 
 func TestListExperiments(t *testing.T) {
@@ -59,5 +64,39 @@ func TestDeterministicOutputAcrossWorkers(t *testing.T) {
 func TestUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-run", "nonsense"}, &bytes.Buffer{}); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestTraceFileSweep drives the capture-then-sweep loop through the
+// CLI: a serialised workload becomes file-backed grid points of the
+// corpus sweeps.
+func TestTraceFileSweep(t *testing.T) {
+	w, err := bench.ByName("adpcm_c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cap.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.WriteV2(f, w.ScaledTo(2_000).Stream(), trace.V2Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err = run([]string{"-run", "corpus-miss", "-instructions", "2000",
+		"-trace", path, "-format", "csv"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "trace:cap.trace") {
+		t.Fatalf("sweep output missing the file-backed grid points:\n%s", out.String())
+	}
+	if err := run([]string{"-run", "corpus-miss", "-instructions", "2000",
+		"-trace", filepath.Join(t.TempDir(), "missing.trace")}, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing trace file accepted")
 	}
 }

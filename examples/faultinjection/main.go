@@ -3,7 +3,10 @@
 // drawn at the methodology's sized-8T fault rate, runs a write/read
 // sweep over every word through the real SECDED/DECTED codecs, then
 // layers soft errors on top — showing exactly which design survives
-// which fault pattern, and why scenario B needs DECTED.
+// which fault pattern, and why scenario B needs DECTED. It closes by
+// replaying a whole SmallBench workload through the bit-accurate
+// protected caches on the batched core path (core.ReplayFunctional):
+// timing stats and transparent corrections from the same run.
 package main
 
 import (
@@ -11,7 +14,9 @@ import (
 	"log"
 	"math/rand"
 
+	"edcache/internal/bench"
 	"edcache/internal/core"
+	"edcache/internal/cpu"
 	"edcache/internal/ecc"
 	"edcache/internal/faults"
 	"edcache/internal/yield"
@@ -124,4 +129,45 @@ func main() {
 	}
 	fmt.Println("-> with soft errors in the requirement (scenario B), SECDED is not enough;")
 	fmt.Println("   the proposed design upgrades the ULE way to DECTED exactly for this case.")
+
+	// Whole-workload replay through the protected layer, on the batched
+	// core path: the ULE-mode cache pair (1 KB, SECDED) runs a real
+	// SmallBench stream instruction by instruction — fetches and data
+	// accesses travel encoder → fault map → decoder — while the core
+	// model accumulates timing. Repairs stay invisible to the replay;
+	// only the correction counters reveal the faulty silicon.
+	fmt.Println("\nbatched functional replay: epic_c on a faulty SECDED ULE cache")
+	dieRng := rand.New(rand.NewSource(42))
+	var dieMap *faults.WayFaults
+	for {
+		m, err := faults.Generate(geom, res.ProposedPf*30, dieRng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if m.Usable(1) && m.Count() > 0 { // a shippable die that still has faults
+			dieMap = m
+			break
+		}
+	}
+	il1, err := core.NewFunctionalCache(32, 8, ecc.KindSECDED, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dl1, err := core.NewFunctionalCache(32, 8, ecc.KindSECDED, dieMap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := bench.ByName("epic_c")
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := core.ReplayFunctional(cpu.Config{MemLatency: 20}, il1, dl1, 1, w.ScaledTo(40_000).Stream())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d instructions, CPI %.3f, DL1 miss %.2f%% (die carries %d stuck-at cells)\n",
+		st.Instructions, st.CPI(), 100*float64(st.DMisses)/float64(st.DAccesses), dieMap.Count())
+	fmt.Printf("  SECDED repaired %d reads in flight, %d uncorrectable\n", dl1.CorrectedReads, dl1.Uncorrectable)
+	fmt.Println("-> the whole replay ran on real codewords over faulty silicon and software")
+	fmt.Println("   never saw a fault — the claim of Section III, executed end to end.")
 }

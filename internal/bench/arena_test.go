@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"edcache/internal/trace"
+)
+
+func TestArenaCacheSharesOneSlabPerWorkload(t *testing.T) {
+	c := NewArenaCache()
+	w, err := ByName("gsm_c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = w.ScaledTo(5_000)
+	const callers = 8
+	arenas := make([]*trace.Arena, callers)
+	var wg sync.WaitGroup
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			arenas[g] = c.Get(w)
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < callers; g++ {
+		if arenas[g] != arenas[0] {
+			t.Fatal("concurrent Get calls returned distinct slabs for one workload")
+		}
+	}
+	if arenas[0].Len() != 5_000 {
+		t.Fatalf("slab holds %d instructions, want 5000", arenas[0].Len())
+	}
+	// A different instruction count is a different key.
+	if c.Get(w.ScaledTo(1_000)) == arenas[0] {
+		t.Fatal("different trace lengths share one slab")
+	}
+}
+
+// TestArenaCacheReplaysGeneratorExactly is the decode-once determinism
+// foundation: a cached slab's cursor must replay the identical
+// instruction sequence — and phase annotation — a fresh generator
+// stream produces, for every registered workload.
+func TestArenaCacheReplaysGeneratorExactly(t *testing.T) {
+	c := NewArenaCache()
+	for _, w := range Full() {
+		w := w.ScaledTo(3_000)
+		cur := c.Get(w).Cursor()
+		if cur.HasPhases() != w.HasPhases() {
+			t.Errorf("%s: arena phase annotation %v, workload %v", w.Name, cur.HasPhases(), w.HasPhases())
+		}
+		fresh := w.Stream()
+		got := make([]trace.Inst, 0, 3_000)
+		want := make([]trace.Inst, 0, 3_000)
+		buf := make([]trace.Inst, 512)
+		for {
+			n := trace.Fill(cur, buf)
+			got = append(got, buf[:n]...)
+			m := trace.Fill(fresh, buf)
+			want = append(want, buf[:m]...)
+			if n == 0 && m == 0 {
+				break
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: arena replay diverges from a fresh generator stream", w.Name)
+		}
+	}
+}
+
+// BenchmarkArenaReplay contrasts draining a fresh generator stream
+// (what every sweep grid point used to do) with replaying the shared
+// slab — the per-replay cost decode-once removes.
+func BenchmarkArenaReplay(b *testing.B) {
+	w, err := ByName("gsm_c")
+	if err != nil {
+		b.Fatal(err)
+	}
+	w = w.ScaledTo(100_000)
+	buf := make([]trace.Inst, 4096)
+	b.Run("generator", func(b *testing.B) {
+		b.SetBytes(int64(w.Instructions))
+		for i := 0; i < b.N; i++ {
+			s := w.Stream().(trace.BatchStream)
+			for s.NextBatch(buf) != 0 {
+			}
+		}
+	})
+	b.Run("arena", func(b *testing.B) {
+		a := NewArenaCache().Get(w)
+		b.ResetTimer()
+		b.SetBytes(int64(w.Instructions))
+		for i := 0; i < b.N; i++ {
+			c := a.Cursor()
+			for c.NextBatch(buf) != 0 {
+			}
+		}
+	})
+}

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"edcache/internal/bench"
+	"edcache/internal/trace"
+	"edcache/internal/yield"
+)
+
+// Decode-once replay entry points: a trace.Arena is materialized once
+// (from a workload generator or a captured trace file) and every
+// (scenario, mode, design) evaluation replays the shared slab through
+// a cheap cursor instead of regenerating the stream. Replay is
+// bit-identical to the generator-backed path — a cursor produces the
+// same instruction sequence with the same batch/phase capabilities —
+// so Reports, and everything aggregated from them, do not change.
+
+// RunArena is Run over a materialized slab: the workload was generated
+// (or a trace file decoded) once, and this evaluation replays it
+// through a fresh cursor. Safe for any number of concurrent calls on
+// one Arena, like Run is for one System.
+func (s *System) RunArena(name string, a *trace.Arena, m Mode) (Report, error) {
+	return s.RunStream(name, a.Cursor(), m)
+}
+
+// RunPairsArena is RunPairsN with decode-once replay: every workload's
+// slab comes from the shared cache (generated at most once per cache
+// lifetime, even across scenarios and modes) and both designs replay
+// cursors over it. Results are bit-identical to RunPairsN for any
+// worker count.
+func RunPairsArena(s yield.Scenario, m Mode, workloads []bench.Workload, arenas *bench.ArenaCache, workers int) ([]Pair, error) {
+	return runPairsOn(s, m, workloads, workers, func(sys *System, w bench.Workload) (Report, error) {
+		return sys.RunArena(w.Name, arenas.Get(w), m)
+	})
+}

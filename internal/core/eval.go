@@ -65,6 +65,16 @@ func RunPairs(s yield.Scenario, m Mode, workloads []bench.Workload) ([]Pair, err
 // and pairs are collected by workload index, so the result is identical
 // for any worker count.
 func RunPairsN(s yield.Scenario, m Mode, workloads []bench.Workload, workers int) ([]Pair, error) {
+	return runPairsOn(s, m, workloads, workers, func(sys *System, w bench.Workload) (Report, error) {
+		return sys.Run(w, m)
+	})
+}
+
+// runPairsOn is the shared core of RunPairsN and RunPairsArena: it
+// sizes the scenario's baseline/proposed pair once and fans the
+// workloads out, with runOne supplying the replay source (fresh
+// generator stream or shared arena cursor).
+func runPairsOn(s yield.Scenario, m Mode, workloads []bench.Workload, workers int, runOne func(sys *System, w bench.Workload) (Report, error)) ([]Pair, error) {
 	base, err := NewSystem(PaperConfig(s, Baseline))
 	if err != nil {
 		return nil, err
@@ -75,11 +85,11 @@ func RunPairsN(s yield.Scenario, m Mode, workloads []bench.Workload, workers int
 	}
 	return sim.Map(workers, len(workloads), func(i int) (Pair, error) {
 		w := workloads[i]
-		rb, err := base.Run(w, m)
+		rb, err := runOne(base, w)
 		if err != nil {
 			return Pair{}, fmt.Errorf("core: %s baseline: %w", w.Name, err)
 		}
-		rp, err := prop.Run(w, m)
+		rp, err := runOne(prop, w)
 		if err != nil {
 			return Pair{}, fmt.Errorf("core: %s proposed: %w", w.Name, err)
 		}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"edcache/internal/bench"
+	"edcache/internal/cpu"
+	"edcache/internal/ecc"
+	"edcache/internal/faults"
+	"edcache/internal/trace"
+	"edcache/internal/yield"
+)
+
+// scalarOnly hides a stream's batch capability so cpu.Run takes the
+// per-instruction path (mirrors the cpu package's own batch tests).
+type scalarOnly struct{ s trace.Stream }
+
+func (s scalarOnly) Next() (trace.Inst, bool) { return s.s.Next() }
+
+func newFuncCaches(t *testing.T, kind ecc.Kind, fmap *faults.WayFaults) (il1, dl1 *FunctionalCache) {
+	t.Helper()
+	il1, err := NewFunctionalCache(32, 8, kind, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl1, err = NewFunctionalCache(32, 8, kind, fmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return il1, dl1
+}
+
+// TestReplayFunctionalBatchMatchesScalar is the satellite's contract:
+// the functional layer's batched replay must produce bit-identical
+// cpu.Stats — and identical correction counters — to the scalar path,
+// with and without the extra EDC hit cycle.
+func TestReplayFunctionalBatchMatchesScalar(t *testing.T) {
+	w, err := bench.ByName("epic_c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = w.ScaledTo(20_000)
+	for _, extra := range []int{0, 1} {
+		iScalar, dScalar := newFuncCaches(t, ecc.KindSECDED, nil)
+		scalar, err := ReplayFunctional(cpu.Config{MemLatency: 20}, iScalar, dScalar, extra, scalarOnly{w.Stream()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		iBatch, dBatch := newFuncCaches(t, ecc.KindSECDED, nil)
+		batch, err := ReplayFunctional(cpu.Config{MemLatency: 20}, iBatch, dBatch, extra, w.Stream())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(scalar, batch) {
+			t.Fatalf("extra=%d: batched functional Stats diverge from scalar:\n%+v\n%+v", extra, scalar, batch)
+		}
+		if scalar.Instructions != uint64(w.Instructions) {
+			t.Fatalf("replayed %d instructions, want %d", scalar.Instructions, w.Instructions)
+		}
+		if dScalar.Uncorrectable != dBatch.Uncorrectable || dScalar.CorrectedReads != dBatch.CorrectedReads {
+			t.Fatalf("extra=%d: functional counters diverge between paths", extra)
+		}
+		if extra == 1 && scalar.LoadUseStalls == 0 {
+			t.Error("extra EDC cycle produced no load-use stalls")
+		}
+	}
+}
+
+// TestReplayFunctionalOnFaultySilicon replays a SmallBench workload
+// through a DL1 whose way carries yield-accepted hard faults: SECDED
+// must repair every manifest fault transparently (no uncorrectable
+// reads), on the batched path, while the stats stay bit-identical to
+// scalar replay on an identically faulty die.
+func TestReplayFunctionalOnFaultySilicon(t *testing.T) {
+	res, err := yield.Run(yield.PaperInput(yield.ScenarioA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	geom := faults.WayGeometry{Lines: 32, WordsPerLine: 8, DataWordBits: 39, TagWordBits: 33}
+	// Find a yield-accepted die that actually has faults (exaggerated
+	// Pf, as the functional tests do).
+	var fmap *faults.WayFaults
+	for seed := int64(0); ; seed++ {
+		m, err := faults.Generate(geom, res.ProposedPf*30, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Usable(1) && m.Count() > 0 {
+			fmap = m
+			break
+		}
+	}
+	w, err := bench.ByName("adpcm_c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = w.ScaledTo(20_000)
+
+	run := func(s trace.Stream) (cpu.Stats, *FunctionalCache) {
+		il1, err := NewFunctionalCache(32, 8, ecc.KindSECDED, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The fault map is read-only under replay (Apply only reads), so
+		// both runs can share one die.
+		dl1, err := NewFunctionalCache(32, 8, ecc.KindSECDED, fmap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := ReplayFunctional(cpu.Config{MemLatency: 20}, il1, dl1, 1, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st, dl1
+	}
+	batch, dBatch := run(w.Stream())
+	scalar, dScalar := run(scalarOnly{w.Stream()})
+	if !reflect.DeepEqual(batch, scalar) {
+		t.Fatal("faulty-die batched Stats diverge from scalar replay")
+	}
+	if dBatch.Uncorrectable != 0 {
+		t.Errorf("yield-accepted die produced %d uncorrectable reads", dBatch.Uncorrectable)
+	}
+	if dBatch.CorrectedReads != dScalar.CorrectedReads {
+		t.Error("correction counts diverge between batched and scalar replay")
+	}
+}

@@ -422,26 +422,39 @@ func (b *batcher) process(insts []trace.Inst) {
 // bit-identical to scalar replay; boundaries are rare (thousands of
 // instructions apart), so the split costs one phase-id scan per chunk
 // and nothing at all for unannotated streams.
+//
+// Streams whose instructions already sit in memory (trace.SliceBatcher
+// — arena cursors) replay zero-copy: each chunk is a read-only window
+// into the stream's own storage instead of a copy into scratch. The
+// chunk boundaries and processing are identical, so Stats are
+// unaffected.
 func runBatched(cfg Config, il1, dl1 BatchPort, s trace.BatchStream, phased bool) Stats {
 	b := newBatcher(cfg, il1, dl1)
-	insts := make([]trace.Inst, batchSize)
+	next := func(buf []trace.Inst) []trace.Inst {
+		return buf[:s.NextBatch(buf)]
+	}
+	var insts []trace.Inst
+	if sb, ok := s.(trace.SliceBatcher); ok {
+		next = func([]trace.Inst) []trace.Inst { return sb.NextSlice(batchSize) }
+	} else {
+		insts = make([]trace.Inst, batchSize)
+	}
 	if !phased {
 		for {
-			n := s.NextBatch(insts)
-			if n == 0 {
+			chunk := next(insts)
+			if len(chunk) == 0 {
 				break
 			}
-			b.process(insts[:n])
+			b.process(chunk)
 		}
 		return b.st
 	}
 	lg := newPhaseLedger(il1, dl1)
 	for {
-		n := s.NextBatch(insts)
-		if n == 0 {
+		chunk := next(insts)
+		if len(chunk) == 0 {
 			break
 		}
-		chunk := insts[:n]
 		for len(chunk) > 0 {
 			id := chunk[0].Phase
 			j := 1

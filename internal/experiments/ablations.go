@@ -28,6 +28,7 @@ func ablationExperiments(o Options) []sim.Experiment {
 
 // waySplitAblation is A1: 7+1 vs 6+2 (Section IV-A).
 func waySplitAblation(o Options) sim.Experiment {
+	o = o.withDefaults()
 	return sim.Def{
 		ExpName: "a1-waysplit",
 		Desc:    "A1: way-split ablation — 7+1 vs 6+2 ULE ways (Section IV-A)",
@@ -52,7 +53,7 @@ func waySplitAblation(o Options) sim.Experiment {
 			if err != nil {
 				return sim.Result{}, err
 			}
-			w, err := workloadByName("adpcm_c", o.Instructions)
+			w, arena, err := o.workloadArena("adpcm_c")
 			if err != nil {
 				return sim.Result{}, err
 			}
@@ -60,11 +61,11 @@ func waySplitAblation(o Options) sim.Experiment {
 			cb.ULEWays = ule
 			cp := core.PaperConfig(yield.ScenarioA, core.Proposed)
 			cp.ULEWays = ule
-			rb, err := core.MustNewSystem(cb).Run(w, m)
+			rb, err := core.MustNewSystem(cb).RunArena(w.Name, arena, m)
 			if err != nil {
 				return sim.Result{}, err
 			}
-			rp, err := core.MustNewSystem(cp).Run(w, m)
+			rp, err := core.MustNewSystem(cp).RunArena(w.Name, arena, m)
 			if err != nil {
 				return sim.Result{}, err
 			}
@@ -80,6 +81,7 @@ func waySplitAblation(o Options) sim.Experiment {
 // memLatencyAblation is A2: the paper claims trends are unchanged with
 // memory latency.
 func memLatencyAblation(o Options) sim.Experiment {
+	o = o.withDefaults()
 	return sim.Def{
 		ExpName: "a2-memlat",
 		Desc:    "A2: memory-latency ablation — savings vs 10..80-cycle memory (paper: trends unchanged)",
@@ -104,7 +106,7 @@ func memLatencyAblation(o Options) sim.Experiment {
 				if m == core.ModeULE {
 					name = "adpcm_c"
 				}
-				w, err := workloadByName(name, o.Instructions)
+				w, arena, err := o.workloadArena(name)
 				if err != nil {
 					return sim.Result{}, err
 				}
@@ -112,11 +114,11 @@ func memLatencyAblation(o Options) sim.Experiment {
 				cb.MemLatency = lat
 				cp := core.PaperConfig(yield.ScenarioA, core.Proposed)
 				cp.MemLatency = lat
-				rb, err := core.MustNewSystem(cb).Run(w, m)
+				rb, err := core.MustNewSystem(cb).RunArena(w.Name, arena, m)
 				if err != nil {
 					return sim.Result{}, err
 				}
-				rp, err := core.MustNewSystem(cp).Run(w, m)
+				rp, err := core.MustNewSystem(cp).RunArena(w.Name, arena, m)
 				if err != nil {
 					return sim.Result{}, err
 				}
@@ -255,6 +257,7 @@ func burstOutcome(c ecc.Codec, burst int) string {
 // policy by the cost of memory accesses; the estimate here makes the
 // trade visible (a highly-integrated few-MB memory at ~300 pJ/access).
 func uleReuseAblation(o Options) sim.Experiment {
+	o = o.withDefaults()
 	const memAccessPJ = 300.0
 	return sim.Def{
 		ExpName: "a5-ulereuse",
@@ -268,19 +271,19 @@ func uleReuseAblation(o Options) sim.Experiment {
 		RunFn: func(t sim.Task, _ *rand.Rand) (sim.Result, error) {
 			gate := t.Params["gate"] == "true"
 			// mpeg2_c needs more than the 7 KB of HP ways.
-			w, err := workloadByName("mpeg2_c", o.Instructions)
+			w, arena, err := o.workloadArena("mpeg2_c")
 			if err != nil {
 				return sim.Result{}, err
 			}
 			cfg := core.PaperConfig(yield.ScenarioA, core.Proposed)
 			cfg.GateULEWaysAtHP = gate
-			rep, err := core.MustNewSystem(cfg).Run(w, core.ModeHP)
+			rep, err := core.MustNewSystem(cfg).RunArena(w.Name, arena, core.ModeHP)
 			if err != nil {
 				return sim.Result{}, err
 			}
 			memEPI := memAccessPJ * float64(rep.Stats.DMisses+rep.Stats.IMisses) / float64(rep.Stats.Instructions)
 			return sim.Result{Metrics: []sim.Metric{
-				sim.Fmt("dl1_miss", 100*float64(rep.Stats.DMisses)/float64(rep.Stats.DAccesses), "%.3f%%"),
+				sim.Fmt("dl1_miss", missPct(rep.Stats.DMisses, rep.Stats.DAccesses), "%.3f%%"),
 				sim.FmtU("exec_time", rep.TimeNS/1e6, "ms", "%.3f"),
 				sim.FmtU("chip_epi", rep.EPI.Total(), "pJ", "%.2f"),
 				sim.FmtU("with_memory_epi", rep.EPI.Total()+memEPI, "pJ", "%.2f"),

@@ -18,14 +18,21 @@ import (
 // conflict adversary) — across both scenarios and both operating
 // modes: EPI for baseline and proposed, miss rates, and the ULE-mode
 // slowdown from the EDC pipeline stage. The grid fans out on the
-// engine, so the whole corpus runs concurrently with the
-// workers-invariant determinism contract intact.
+// engine with decode-once replay: every workload is generated once
+// into a shared arena and each of its grid points replays a cursor, so
+// generation cost no longer scales with the grid (the workers-
+// invariant determinism contract is untouched — a cursor replays the
+// exact generator sequence). Options.TraceFiles adds captured trace
+// files as further grid points, completing the capture-then-sweep loop
+// on the engine.
 func corpusExperiment(o Options) sim.Experiment {
+	o = o.withDefaults()
 	systems := newSharedSystems()
 	return sim.Def{
 		ExpName: "corpus",
-		Desc:    "corpus-wide sweep — EPI, miss rates and ULE slowdown for every registered workload, both scenarios and modes",
+		Desc:    "corpus-wide sweep — EPI, miss rates and ULE slowdown for every registered workload (and any -trace file), both scenarios and modes",
 		GridFn: func() []sim.Task {
+			traceNames := traceSourceNames(o.TraceFiles)
 			var tasks []sim.Task
 			for _, s := range scenarios {
 				for _, m := range []core.Mode{core.ModeHP, core.ModeULE} {
@@ -34,6 +41,14 @@ func corpusExperiment(o Options) sim.Experiment {
 							Label: fmt.Sprintf("scenario=%v %v %s", s, m, w.Name),
 							Params: sim.P("scenario", s.String(), "mode", m.String(),
 								"workload", w.Name, "suite", w.Suite.String(), "pattern", w.Pattern.String()),
+						})
+					}
+					for _, tf := range o.TraceFiles {
+						tasks = append(tasks, sim.Task{
+							Label: fmt.Sprintf("scenario=%v %v %s", s, m, traceNames[tf]),
+							Params: sim.P("scenario", s.String(), "mode", m.String(),
+								"workload", traceNames[tf], "trace", tf,
+								"suite", "trace", "pattern", "trace"),
 						})
 					}
 				}
@@ -49,7 +64,7 @@ func corpusExperiment(o Options) sim.Experiment {
 			if err != nil {
 				return sim.Result{}, err
 			}
-			w, err := workloadByName(t.Params["workload"], o.Instructions)
+			name, arena, err := o.taskArena(t)
 			if err != nil {
 				return sim.Result{}, err
 			}
@@ -57,22 +72,22 @@ func corpusExperiment(o Options) sim.Experiment {
 			if err != nil {
 				return sim.Result{}, err
 			}
-			rb, err := base.Run(w, m)
+			rb, err := base.RunArena(name, arena, m)
 			if err != nil {
 				return sim.Result{}, err
 			}
-			rp, err := prop.Run(w, m)
+			rp, err := prop.RunArena(name, arena, m)
 			if err != nil {
 				return sim.Result{}, err
 			}
-			p := core.Pair{Workload: w.Name, Base: rb, Prop: rp}
+			p := core.Pair{Workload: name, Base: rb, Prop: rp}
 			ms := []sim.Metric{
 				sim.NumU("base_epi", rb.EPI.Total(), "pJ/i"),
 				sim.NumU("prop_epi", rp.EPI.Total(), "pJ/i"),
 				sim.Fmt("saving", p.SavingPct(), "%.1f%%"),
 				sim.Fmt("time_increase", p.TimeIncreasePct(), "%.2f%%"),
-				sim.Fmt("il1_miss", 100*float64(rp.Stats.IMisses)/float64(rp.Stats.IAccesses), "%.3f%%"),
-				sim.Fmt("dl1_miss", 100*float64(rp.Stats.DMisses)/float64(rp.Stats.DAccesses), "%.3f%%"),
+				sim.Fmt("il1_miss", missPct(rp.Stats.IMisses, rp.Stats.IAccesses), "%.3f%%"),
+				sim.Fmt("dl1_miss", missPct(rp.Stats.DMisses, rp.Stats.DAccesses), "%.3f%%"),
 				sim.Fmt("cpi", rp.Stats.CPI(), "%.3f"),
 			}
 			return sim.Result{Metrics: ms, Data: p}, nil
@@ -80,13 +95,16 @@ func corpusExperiment(o Options) sim.Experiment {
 		FinishFn: func(results []sim.Result) ([]sim.Result, error) {
 			// Corpus-wide averages per (scenario, mode), aggregated with
 			// the library's own summariser so every experiment shares one
-			// averaging convention.
+			// averaging convention. File-backed points are reported but
+			// excluded from the averages, which would otherwise shift with
+			// whatever -trace files a run happens to add.
 			out := results
 			for _, s := range scenarios {
 				for _, m := range []core.Mode{core.ModeHP, core.ModeULE} {
 					var pairs []core.Pair
 					for _, r := range results {
-						if r.Task.Params["scenario"] != s.String() || r.Task.Params["mode"] != m.String() {
+						if r.Task.Params["scenario"] != s.String() || r.Task.Params["mode"] != m.String() ||
+							r.Task.Params["trace"] != "" {
 							continue
 						}
 						if p, ok := r.Data.(core.Pair); ok {
@@ -120,13 +138,17 @@ func corpusExperiment(o Options) sim.Experiment {
 // from the 1 KB ULE way to the full 8 KB cache (ways 1, 2, 4, 8). The
 // sweep separates capacity misses (vanish with ways) from the
 // adversary's conflict misses (they never do) and runs on the batched
-// cache entry point — no energy model, so the full grid is cheap.
+// cache entry point over shared decode-once arenas — no energy model
+// and no regeneration, so the full grid is cheap. Options.TraceFiles
+// adds captured trace files to the capacity axis.
 func corpusMissExperiment(o Options) sim.Experiment {
+	o = o.withDefaults()
 	ways := []int{1, 2, 4, 8}
 	return sim.Def{
 		ExpName: "corpus-miss",
-		Desc:    "corpus locality sweep — DL1 miss rate vs cache capacity (1-8 ways) for every registered workload",
+		Desc:    "corpus locality sweep — DL1 miss rate vs cache capacity (1-8 ways) for every registered workload (and any -trace file)",
 		GridFn: func() []sim.Task {
+			traceNames := traceSourceNames(o.TraceFiles)
 			var tasks []sim.Task
 			for _, w := range bench.Full() {
 				for _, k := range ways {
@@ -137,6 +159,15 @@ func corpusMissExperiment(o Options) sim.Experiment {
 					})
 				}
 			}
+			for _, tf := range o.TraceFiles {
+				for _, k := range ways {
+					tasks = append(tasks, sim.Task{
+						Label: fmt.Sprintf("%s ways=%d", traceNames[tf], k),
+						Params: sim.P("workload", traceNames[tf], "trace", tf,
+							"ways", strconv.Itoa(k), "suite", "trace", "pattern", "trace"),
+					})
+				}
+			}
 			return tasks
 		},
 		RunFn: func(t sim.Task, _ *rand.Rand) (sim.Result, error) {
@@ -144,7 +175,7 @@ func corpusMissExperiment(o Options) sim.Experiment {
 			if err != nil {
 				return sim.Result{}, err
 			}
-			w, err := workloadByName(t.Params["workload"], o.Instructions)
+			name, arena, err := o.taskArena(t)
 			if err != nil {
 				return sim.Result{}, err
 			}
@@ -152,9 +183,9 @@ func corpusMissExperiment(o Options) sim.Experiment {
 			if err != nil {
 				return sim.Result{}, err
 			}
-			refs, misses := replayDataRefs(w.Stream(), dl1)
+			refs, misses := ReplayDataRefs(arena.Cursor(), dl1)
 			if refs == 0 {
-				return sim.Result{}, fmt.Errorf("experiments: %s produced no memory references", w.Name)
+				return sim.Result{}, fmt.Errorf("experiments: %s produced no memory references", name)
 			}
 			return sim.Result{Metrics: []sim.Metric{
 				sim.NumU("capacity", float64(dl1.Config().SizeBytes()), "B"),
@@ -165,9 +196,11 @@ func corpusMissExperiment(o Options) sim.Experiment {
 	}
 }
 
-// replayDataRefs streams a workload's loads and stores through one
-// cache via the batched entry point and counts misses.
-func replayDataRefs(s trace.Stream, c *cache.Cache) (refs, misses int) {
+// ReplayDataRefs streams a workload's loads and stores through one
+// cache via the batched entry point and counts misses. It is the
+// corpus-miss replay loop; the root benchmark harness reuses it so
+// BenchmarkCorpusSweep measures exactly the loop the experiment runs.
+func ReplayDataRefs(s trace.Stream, c *cache.Cache) (refs, misses int) {
 	const chunk = 4096
 	insts := make([]trace.Inst, chunk)
 	ops := make([]cache.Op, 0, chunk)

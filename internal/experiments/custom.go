@@ -129,8 +129,8 @@ func NewHybridRun(spec HybridSpec) sim.Experiment {
 			fmt.Fprintf(&b, "  cycles %d (CPI %.3f), time %.1f us, load-use stalls %d\n",
 				rep.Stats.Cycles, rep.Stats.CPI(), rep.TimeNS/1000, rep.Stats.LoadUseStalls)
 			fmt.Fprintf(&b, "  IL1 miss %.3f%%  DL1 miss %.3f%%\n",
-				100*float64(rep.Stats.IMisses)/float64(rep.Stats.IAccesses),
-				100*float64(rep.Stats.DMisses)/float64(rep.Stats.DAccesses))
+				missPct(rep.Stats.IMisses, rep.Stats.IAccesses),
+				missPct(rep.Stats.DMisses, rep.Stats.DAccesses))
 			tb := stats.NewTable("EPI component", "pJ/instr", "share")
 			tot := rep.EPI.Total()
 			tb.AddRow("L1 dynamic", f3(rep.EPI.CacheDynamic), stats.Pct(rep.EPI.CacheDynamic/tot))

@@ -8,11 +8,13 @@ package experiments
 
 import (
 	"fmt"
+	"path/filepath"
 	"runtime"
 
 	"edcache/internal/bench"
 	"edcache/internal/core"
 	"edcache/internal/sim"
+	"edcache/internal/trace"
 	"edcache/internal/yield"
 )
 
@@ -35,6 +37,21 @@ type Options struct {
 	// parallelism stays bounded by GOMAXPROCS — oversubscription only
 	// queues runnable goroutines, it does not change results.
 	Workers int
+
+	// TraceFiles names captured trace files (v1 or v2, from tracegen or
+	// the System capture entry points) to sweep as first-class grid
+	// points alongside the generator corpus: corpus and corpus-miss add
+	// one grid point per (scenario/ways, mode, file), phase-epi one per
+	// file when the file carries phase annotations. Each file is decoded
+	// once into a shared arena and every grid point replays it.
+	TraceFiles []string
+
+	// arenas memoizes materialized workload slabs and fileArenas
+	// decoded trace files, so every experiment registered from one
+	// RegisterAll call generates/decodes each source exactly once per
+	// run. Both are installed by withDefaults and shared through it.
+	arenas     *bench.ArenaCache
+	fileArenas *sim.Shared[string, *trace.Arena]
 }
 
 func (o Options) withDefaults() Options {
@@ -50,10 +67,19 @@ func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	if o.arenas == nil {
+		o.arenas = bench.NewArenaCache()
+	}
+	if o.fileArenas == nil {
+		o.fileArenas = sim.NewShared(trace.LoadArenaFile)
+	}
 	return o
 }
 
-// RegisterAll registers the full evaluation suite on the registry.
+// RegisterAll registers the full evaluation suite on the registry. The
+// defaulted Options carry the run's shared decode-once caches, so every
+// experiment registered here generates each workload — and decodes each
+// trace file — at most once, no matter how many grids replay it.
 func RegisterAll(r *sim.Registry, o Options) {
 	o = o.withDefaults()
 	r.MustRegister(sizingExperiment())
@@ -112,6 +138,65 @@ func workloadByName(name string, instructions int) (bench.Workload, error) {
 		return bench.Workload{}, err
 	}
 	return w.ScaledTo(instructions), nil
+}
+
+// workloadArena resolves a benchmark name to its shared decode-once
+// slab (generated at most once per run across every experiment sharing
+// these Options).
+func (o Options) workloadArena(name string) (bench.Workload, *trace.Arena, error) {
+	w, err := workloadByName(name, o.Instructions)
+	if err != nil {
+		return bench.Workload{}, nil, err
+	}
+	return w, o.arenas.Get(w), nil
+}
+
+// taskArena resolves a grid task's replay source: a trace-file arena
+// when the task names one (the "trace" parameter), the workload's
+// shared slab otherwise. The returned name labels reports.
+func (o Options) taskArena(t sim.Task) (string, *trace.Arena, error) {
+	if path := t.Params["trace"]; path != "" {
+		a, err := o.fileArenas.Get(path)
+		if err != nil {
+			return "", nil, err
+		}
+		return t.Params["workload"], a, nil
+	}
+	w, a, err := o.workloadArena(t.Params["workload"])
+	if err != nil {
+		return "", nil, err
+	}
+	return w.Name, a, nil
+}
+
+// traceSourceNames labels each file-backed sweep source for the
+// workload column: the basename when it is unique across the run's
+// trace files, the full path when two files share one — otherwise
+// their grid rows would be indistinguishable.
+func traceSourceNames(paths []string) map[string]string {
+	base := make(map[string]int, len(paths))
+	for _, p := range paths {
+		base[filepath.Base(p)]++
+	}
+	names := make(map[string]string, len(paths))
+	for _, p := range paths {
+		if base[filepath.Base(p)] > 1 {
+			names[p] = "trace:" + p
+		} else {
+			names[p] = "trace:" + filepath.Base(p)
+		}
+	}
+	return names
+}
+
+// missPct returns misses/accesses as a percentage, 0 when the stream
+// produced no such accesses — degenerate sources (an all-branch trace,
+// an empty phase) must report 0 %, not NaN.
+func missPct(misses, accesses uint64) float64 {
+	if accesses == 0 {
+		return 0
+	}
+	return 100 * float64(misses) / float64(accesses)
 }
 
 // suite returns the paper's per-mode workload suite scaled to the

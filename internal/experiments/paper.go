@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
-	"sync"
 
 	"edcache/internal/core"
 	"edcache/internal/sim"
@@ -118,42 +117,40 @@ func pairGrid(m core.Mode, instructions int) []sim.Task {
 
 // sharedSystems lazily builds the sized baseline/proposed pair per
 // scenario so every grid task of a figure reuses one sizing run — a
-// System is immutable and serves concurrent Run calls.
+// System is immutable and serves concurrent Run calls. It is a thin
+// typed wrapper over the engine's generic shared-resource helper.
 type sharedSystems struct {
-	mu sync.Mutex
-	m  map[yield.Scenario][2]*core.System
+	shared *sim.Shared[yield.Scenario, [2]*core.System]
 }
 
 func newSharedSystems() *sharedSystems {
-	return &sharedSystems{m: make(map[yield.Scenario][2]*core.System)}
+	return &sharedSystems{shared: sim.NewShared(func(s yield.Scenario) ([2]*core.System, error) {
+		base, err := core.NewSystem(core.PaperConfig(s, core.Baseline))
+		if err != nil {
+			return [2]*core.System{}, err
+		}
+		prop, err := core.NewSystem(core.PaperConfig(s, core.Proposed))
+		if err != nil {
+			return [2]*core.System{}, err
+		}
+		return [2]*core.System{base, prop}, nil
+	})}
 }
 
 func (c *sharedSystems) get(s yield.Scenario) (base, prop *core.System, err error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if p, ok := c.m[s]; ok {
-		return p[0], p[1], nil
-	}
-	base, err = core.NewSystem(core.PaperConfig(s, core.Baseline))
-	if err != nil {
-		return nil, nil, err
-	}
-	prop, err = core.NewSystem(core.PaperConfig(s, core.Proposed))
-	if err != nil {
-		return nil, nil, err
-	}
-	c.m[s] = [2]*core.System{base, prop}
-	return base, prop, nil
+	pair, err := c.shared.Get(s)
+	return pair[0], pair[1], err
 }
 
-// runPairTask evaluates one (scenario, workload) bar pair and attaches
-// the Pair as the result payload for the Finish aggregation.
-func runPairTask(t sim.Task, m core.Mode, instructions int, systems *sharedSystems) (sim.Result, core.Pair, error) {
+// runPairTask evaluates one (scenario, workload) bar pair — replaying
+// the workload's shared decode-once slab on both designs — and
+// attaches the Pair as the result payload for the Finish aggregation.
+func runPairTask(t sim.Task, m core.Mode, o Options, systems *sharedSystems) (sim.Result, core.Pair, error) {
 	s, err := taskScenario(t)
 	if err != nil {
 		return sim.Result{}, core.Pair{}, err
 	}
-	w, err := workloadByName(t.Params["workload"], instructions)
+	w, arena, err := o.workloadArena(t.Params["workload"])
 	if err != nil {
 		return sim.Result{}, core.Pair{}, err
 	}
@@ -161,11 +158,11 @@ func runPairTask(t sim.Task, m core.Mode, instructions int, systems *sharedSyste
 	if err != nil {
 		return sim.Result{}, core.Pair{}, err
 	}
-	rb, err := base.Run(w, m)
+	rb, err := base.RunArena(w.Name, arena, m)
 	if err != nil {
 		return sim.Result{}, core.Pair{}, err
 	}
-	rp, err := prop.Run(w, m)
+	rp, err := prop.RunArena(w.Name, arena, m)
 	if err != nil {
 		return sim.Result{}, core.Pair{}, err
 	}
@@ -251,13 +248,14 @@ func figureFinish(name string, m core.Mode, paperSaving map[yield.Scenario]strin
 // fig3Experiment regenerates Figure 3 (E1): normalized average EPI at
 // HP mode over BigBench, one grid task per (scenario, workload).
 func fig3Experiment(o Options) sim.Experiment {
+	o = o.withDefaults()
 	systems := newSharedSystems()
 	return sim.Def{
 		ExpName: "fig3",
 		Desc:    "E1: Fig. 3 — normalized average EPI at HP mode (BigBench)",
 		GridFn:  func() []sim.Task { return pairGrid(core.ModeHP, o.Instructions) },
 		RunFn: func(t sim.Task, _ *rand.Rand) (sim.Result, error) {
-			res, _, err := runPairTask(t, core.ModeHP, o.Instructions, systems)
+			res, _, err := runPairTask(t, core.ModeHP, o, systems)
 			return res, err
 		},
 		FinishFn: figureFinish("fig3", core.ModeHP,
@@ -268,13 +266,14 @@ func fig3Experiment(o Options) sim.Experiment {
 // fig4Experiment regenerates Figure 4 (E2): per-workload EPI breakdowns
 // at ULE mode over SmallBench, bars included per task.
 func fig4Experiment(o Options) sim.Experiment {
+	o = o.withDefaults()
 	systems := newSharedSystems()
 	return sim.Def{
 		ExpName: "fig4",
 		Desc:    "E2: Fig. 4 — normalized EPI breakdowns at ULE mode (SmallBench)",
 		GridFn:  func() []sim.Task { return pairGrid(core.ModeULE, o.Instructions) },
 		RunFn: func(t sim.Task, _ *rand.Rand) (sim.Result, error) {
-			res, p, err := runPairTask(t, core.ModeULE, o.Instructions, systems)
+			res, p, err := runPairTask(t, core.ModeULE, o, systems)
 			if err != nil {
 				return sim.Result{}, err
 			}
@@ -290,6 +289,7 @@ func fig4Experiment(o Options) sim.Experiment {
 // grid task is one (scenario, mode) point whose workload suite fans out
 // on the inner pool via core.RunPairsN.
 func headlineExperiment(o Options) sim.Experiment {
+	o = o.withDefaults()
 	paper := map[yield.Scenario]map[core.Mode]string{
 		yield.ScenarioA: {core.ModeHP: "14%", core.ModeULE: "42%"},
 		yield.ScenarioB: {core.ModeHP: "12%", core.ModeULE: "39%"},
@@ -318,7 +318,7 @@ func headlineExperiment(o Options) sim.Experiment {
 			if err != nil {
 				return sim.Result{}, err
 			}
-			pairs, err := core.RunPairsN(s, m, suite(m, o.Instructions), o.Workers)
+			pairs, err := core.RunPairsArena(s, m, suite(m, o.Instructions), o.arenas, o.Workers)
 			if err != nil {
 				return sim.Result{}, err
 			}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSharedBuildsOncePerKey(t *testing.T) {
+	var builds atomic.Int32
+	s := NewShared(func(k int) (string, error) {
+		builds.Add(1)
+		return fmt.Sprint(k * 10), nil
+	})
+	const goroutines, keys = 32, 4
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			k := g % keys
+			v, err := s.Get(k)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			if want := fmt.Sprint(k * 10); v != want {
+				errs[g] = fmt.Errorf("Get(%d) = %q, want %q", k, v, want)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := builds.Load(); n != keys {
+		t.Fatalf("build ran %d times for %d keys", n, keys)
+	}
+}
+
+func TestSharedCachesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	var builds int
+	s := NewShared(func(k string) (int, error) {
+		builds++
+		return 0, boom
+	})
+	for i := 0; i < 3; i++ {
+		if _, err := s.Get("k"); !errors.Is(err, boom) {
+			t.Fatalf("Get returned %v, want the build error", err)
+		}
+	}
+	if builds != 1 {
+		t.Fatalf("failing build retried %d times; outcomes must be cached", builds)
+	}
+}
+
+// TestSharedDistinctKeysBuildConcurrently proves one key's build does
+// not serialize another's: two builds block until both have started.
+func TestSharedDistinctKeysBuildConcurrently(t *testing.T) {
+	started := make(chan struct{}, 2)
+	release := make(chan struct{})
+	s := NewShared(func(k int) (int, error) {
+		started <- struct{}{}
+		<-release
+		return k, nil
+	})
+	done := make(chan struct{}, 2)
+	for k := 0; k < 2; k++ {
+		go func(k int) {
+			s.Get(k)
+			done <- struct{}{}
+		}(k)
+	}
+	<-started
+	<-started // both builds in flight at once — no cross-key serialization
+	close(release)
+	<-done
+	<-done
+}

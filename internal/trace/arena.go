@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Arena is an immutable, fully materialized instruction slab: the
+// decode-once half of the decode-once/replay-many workflow. A slab is
+// built exactly once — drained from a generator Stream (NewArena) or
+// decoded once from a serialised v1/v2 trace file, gzip chunks included
+// (LoadArena) — and then hands out any number of cheap Cursor values
+// that replay it concurrently. Every sweep grid point that used to
+// regenerate its workload (re-running the generator RNG) or re-decode
+// its trace file instead replays the shared slab, which is what turns
+// an N-point sweep's N generations into one.
+//
+// An Arena is immutable after construction and safe for concurrent use
+// by any number of cursors; it carries the stream's phase-annotation
+// bit so arena-backed replay takes exactly the code paths (batched,
+// phase-segmented or not) the originating stream would have, making
+// cpu.Stats and core.Report bit-identical to generator-backed runs —
+// the determinism contract the experiment engine relies on.
+type Arena struct {
+	insts  []Inst
+	phased bool
+}
+
+// arenaChunk is the granularity NewArena drains its source with; one
+// Fill call per chunk keeps the bulk path of batch-capable sources.
+const arenaChunk = 8192
+
+// NewArena materializes the whole stream into a slab. The source is
+// drained via its batch fast path when it has one; phase annotation is
+// inherited from the stream (trace.PhaseAnnotated), so cursors replay
+// exactly as the source stream would.
+func NewArena(s Stream) *Arena {
+	var insts []Inst
+	for {
+		if cap(insts)-len(insts) < arenaChunk {
+			grown := make([]Inst, len(insts), 2*cap(insts)+arenaChunk)
+			copy(grown, insts)
+			insts = grown
+		}
+		n := Fill(s, insts[len(insts):len(insts)+arenaChunk])
+		if n == 0 {
+			break
+		}
+		insts = insts[:len(insts)+n]
+	}
+	// Shrink to fit: arenas live for a whole run (the caches retain
+	// them), so the doubling loop's excess capacity — up to ~2x — would
+	// otherwise be pinned alongside every slab. One copy bounds the
+	// slab at exactly 16 B/instruction.
+	if cap(insts) > len(insts) {
+		exact := make([]Inst, len(insts))
+		copy(exact, insts)
+		insts = exact
+	}
+	return &Arena{insts: insts, phased: HasPhases(s)}
+}
+
+// LoadArena decodes a serialised trace (either container version,
+// compressed or not) into a slab in one pass, validating it end to end
+// — trailer count, reserved bits, gzip checksum — exactly as streaming
+// replay would. Phase annotation follows the file's stream-flag bit 1.
+func LoadArena(r io.Reader) (*Arena, error) {
+	rd, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	a := NewArena(rd)
+	if err := rd.Err(); err != nil {
+		return nil, err
+	}
+	a.phased = rd.HasPhases()
+	return a, nil
+}
+
+// LoadArenaFile is LoadArena over a file path.
+func LoadArenaFile(path string) (*Arena, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	a, err := LoadArena(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return a, nil
+}
+
+// Len returns the slab's instruction count.
+func (a *Arena) Len() int { return len(a.insts) }
+
+// HasPhases reports whether the slab carries phase annotations (and so
+// whether its cursors advertise them).
+func (a *Arena) HasPhases() bool { return a.phased }
+
+// Cursor returns a fresh replay over the slab, starting at the first
+// instruction. Cursors are cheap (two words of state over the shared
+// slab) and independent: any number may replay concurrently, each at
+// its own position. The returned stream implements BatchStream and
+// PhaseAnnotated, so replay and serialisation take their bulk paths.
+func (a *Arena) Cursor() *Cursor {
+	return &Cursor{insts: a.insts, phased: a.phased}
+}
+
+// Cursor is one replay position over an Arena's shared slab. The zero
+// value is an empty stream; use Arena.Cursor. A Cursor must not be
+// shared between goroutines (take one per replay instead — that is the
+// point of the arena).
+type Cursor struct {
+	insts  []Inst
+	pos    int
+	phased bool
+}
+
+// Next implements Stream.
+func (c *Cursor) Next() (Inst, bool) {
+	if c.pos >= len(c.insts) {
+		return Inst{}, false
+	}
+	inst := c.insts[c.pos]
+	c.pos++
+	return inst, true
+}
+
+// NextBatch implements BatchStream: a bulk copy out of the shared slab,
+// no per-instruction work at all.
+func (c *Cursor) NextBatch(buf []Inst) int {
+	n := copy(buf, c.insts[c.pos:])
+	c.pos += n
+	return n
+}
+
+// NextSlice implements SliceBatcher: a read-only window straight into
+// the shared slab — the zero-copy replay path.
+func (c *Cursor) NextSlice(max int) []Inst {
+	n := len(c.insts) - c.pos
+	if n > max {
+		n = max
+	}
+	s := c.insts[c.pos : c.pos+n]
+	c.pos += n
+	return s
+}
+
+// HasPhases implements PhaseAnnotated.
+func (c *Cursor) HasPhases() bool { return c.phased }
+
+// Reset rewinds the cursor to the start of the slab.
+func (c *Cursor) Reset() { c.pos = 0 }
