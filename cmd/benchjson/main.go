@@ -8,10 +8,19 @@
 //
 //	go test -bench . -benchtime 1x ./... | benchjson -o BENCH.json
 //	benchjson bench-smoke.txt
+//	benchjson -delta old.json new.json
+//	benchjson -delta -fail-above 1.10 old.json new.json
 //
 // Lines that are not benchmark results (goos/pkg banners, PASS, ok)
 // are skipped; the package of each benchmark is tracked from the
 // interleaved "pkg:" banners.
+//
+// -delta compares two previously archived JSON trajectories and prints
+// the per-benchmark ns/op ratio new/old (a ratio below 1 is a speedup)
+// plus benchmarks present on only one side. The exit status is zero
+// regardless of the ratios — the perf trajectory is informational —
+// unless -fail-above is set, in which case any ratio exceeding the
+// threshold fails the run (a CI perf gate).
 package main
 
 import (
@@ -21,8 +30,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 
 	"edcache/internal/cli"
 )
@@ -45,8 +56,16 @@ type Result struct {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	out := fs.String("o", "", "output JSON file (default: stdout)")
+	delta := fs.Bool("delta", false, "compare two archived JSON trajectories: print per-benchmark ns/op ratios new/old")
+	failAbove := fs.Float64("fail-above", 0, "with -delta: fail when any ns/op ratio exceeds this value (0 disables the gate)")
 	if err := cli.Parse(fs, args); err != nil {
 		return err
+	}
+	if *delta {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-delta needs exactly two JSON files (old new), got %d", fs.NArg())
+		}
+		return runDelta(fs.Arg(0), fs.Arg(1), *failAbove, stdout)
 	}
 	in := io.Reader(os.Stdin)
 	switch rest := fs.Args(); len(rest) {
@@ -75,6 +94,105 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	return os.WriteFile(*out, enc, 0o644)
+}
+
+// tabWriter is the delta table's column formatter.
+func tabWriter(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+}
+
+// loadResults reads one archived JSON trajectory.
+func loadResults(path string) ([]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var results []Result
+	if err := json.Unmarshal(data, &results); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results", path)
+	}
+	return results, nil
+}
+
+// benchKey identifies a benchmark across trajectories. go test appends
+// the GOMAXPROCS suffix ("-8") to parallel-capable names, which varies
+// across machines; strip it so trajectories from different runners
+// still line up.
+func benchKey(r Result) string {
+	name := r.Name
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return r.Pkg + " " + name
+}
+
+// runDelta renders the per-benchmark ns/op ratio table of two archived
+// trajectories and applies the optional -fail-above gate.
+func runDelta(oldPath, newPath string, failAbove float64, stdout io.Writer) error {
+	oldResults, err := loadResults(oldPath)
+	if err != nil {
+		return err
+	}
+	newResults, err := loadResults(newPath)
+	if err != nil {
+		return err
+	}
+	oldNs := make(map[string]float64, len(oldResults))
+	for _, r := range oldResults {
+		if ns, ok := r.Metrics["ns/op"]; ok {
+			oldNs[benchKey(r)] = ns
+		}
+	}
+	tw := tabWriter(stdout)
+	fmt.Fprintf(tw, "benchmark\told ns/op\tnew ns/op\tratio\n")
+	var worst float64
+	var failing []string
+	seen := make(map[string]bool, len(newResults))
+	for _, r := range newResults {
+		key := benchKey(r)
+		seen[key] = true
+		ns, ok := r.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		old, ok := oldNs[key]
+		if !ok || old == 0 {
+			fmt.Fprintf(tw, "%s\t-\t%.6g\tnew\n", key, ns)
+			continue
+		}
+		ratio := ns / old
+		fmt.Fprintf(tw, "%s\t%.6g\t%.6g\t%.3fx\n", key, old, ns, ratio)
+		if ratio > worst {
+			worst = ratio
+		}
+		if failAbove > 0 && ratio > failAbove {
+			failing = append(failing, fmt.Sprintf("%s (%.3fx)", key, ratio))
+		}
+	}
+	var gone []string
+	for key := range oldNs {
+		if !seen[key] {
+			gone = append(gone, key)
+		}
+	}
+	sort.Strings(gone)
+	for _, key := range gone {
+		fmt.Fprintf(tw, "%s\t%.6g\t-\tgone\n", key, oldNs[key])
+	}
+	tw.Flush()
+	if worst > 0 {
+		fmt.Fprintf(stdout, "worst ratio %.3fx (ns/op new/old; <1 is faster)\n", worst)
+	}
+	if len(failing) > 0 {
+		return fmt.Errorf("%d benchmark(s) above the %.3fx gate: %s",
+			len(failing), failAbove, strings.Join(failing, ", "))
+	}
+	return nil
 }
 
 // Parse reads `go test -bench` output and returns every benchmark

@@ -93,6 +93,76 @@ func TestRunWritesJSONFile(t *testing.T) {
 	}
 }
 
+// writeTrajectory archives a tiny JSON trajectory for the delta tests.
+func writeTrajectory(t *testing.T, dir, name string, results []Result) string {
+	t.Helper()
+	data, err := json.Marshal(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDeltaRatiosAndMachineSuffix(t *testing.T) {
+	dir := t.TempDir()
+	// The old run came from an 8-core machine (the -8 suffix), the new
+	// one from a 4-core one: names must still line up.
+	old := writeTrajectory(t, dir, "old.json", []Result{
+		{Pkg: "edcache", Name: "BenchmarkA-8", Iterations: 10, Metrics: map[string]float64{"ns/op": 100}},
+		{Pkg: "edcache", Name: "BenchmarkGone", Iterations: 1, Metrics: map[string]float64{"ns/op": 5}},
+	})
+	fresh := writeTrajectory(t, dir, "new.json", []Result{
+		{Pkg: "edcache", Name: "BenchmarkA-4", Iterations: 10, Metrics: map[string]float64{"ns/op": 50}},
+		{Pkg: "edcache", Name: "BenchmarkNew", Iterations: 1, Metrics: map[string]float64{"ns/op": 7}},
+	})
+	var out bytes.Buffer
+	if err := run([]string{"-delta", old, fresh}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"0.500x", "new", "gone", "worst ratio 0.500x"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("delta output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestDeltaFailAboveGate(t *testing.T) {
+	dir := t.TempDir()
+	old := writeTrajectory(t, dir, "old.json", []Result{
+		{Name: "BenchmarkA", Iterations: 1, Metrics: map[string]float64{"ns/op": 100}},
+	})
+	slow := writeTrajectory(t, dir, "new.json", []Result{
+		{Name: "BenchmarkA", Iterations: 1, Metrics: map[string]float64{"ns/op": 150}},
+	})
+	// Informational mode never fails on ratios.
+	if err := run([]string{"-delta", old, slow}, &bytes.Buffer{}); err != nil {
+		t.Fatalf("ungated delta failed: %v", err)
+	}
+	// The gate trips on a 1.5x regression...
+	err := run([]string{"-delta", "-fail-above", "1.10", old, slow}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "above the 1.100x gate") {
+		t.Fatalf("gate did not trip: %v", err)
+	}
+	// ...and stays quiet below the threshold.
+	if err := run([]string{"-delta", "-fail-above", "2.0", old, slow}, &bytes.Buffer{}); err != nil {
+		t.Fatalf("gate tripped below threshold: %v", err)
+	}
+}
+
+func TestDeltaRejectsBadArgs(t *testing.T) {
+	if err := run([]string{"-delta", "only-one.json"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-delta with one file accepted")
+	}
+	if err := run([]string{"-delta", "a.json", "b.json", "c.json"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-delta with three files accepted")
+	}
+}
+
 func TestRunToStdout(t *testing.T) {
 	in := filepath.Join(t.TempDir(), "bench.txt")
 	if err := os.WriteFile(in, []byte(sample), 0o644); err != nil {

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 
+	"edcache/internal/cache"
+	"edcache/internal/cpu"
 	"edcache/internal/trace"
 )
 
@@ -71,22 +73,65 @@ func TestArenaCacheReplaysGeneratorExactly(t *testing.T) {
 	}
 }
 
-// BenchmarkArenaReplay contrasts draining a fresh generator stream
-// (what every sweep grid point used to do) with replaying the shared
-// slab — the per-replay cost decode-once removes.
+// cachePort adapts a raw cache to cpu.Port/cpu.BatchPort exactly the
+// way core's energy port does, minus the energy tally: one AccessBatch
+// call per chunk, outcomes consumed from the Result slice. The replay
+// benchmarks below exercise the real simulation hot path (cpu batch
+// loop + cache) without dragging the sizing layer into this package.
+type cachePort struct {
+	c   *cache.Cache
+	ops []cache.Op
+	res []cache.Result
+}
+
+func (p *cachePort) Access(addr uint32, write bool) bool {
+	return !p.c.Access(addr, write).Hit
+}
+
+func (p *cachePort) ExtraHitLatency() int { return 0 }
+
+func (p *cachePort) AccessBatch(ops []cpu.PortOp, miss []bool) {
+	n := len(ops)
+	if cap(p.ops) < n {
+		p.ops = make([]cache.Op, n)
+		p.res = make([]cache.Result, n)
+	}
+	co, cr := p.ops[:n], p.res[:n]
+	for i, op := range ops {
+		co[i] = cache.Op{Addr: op.Addr, Write: op.Write}
+	}
+	p.c.AccessBatch(co, cr)
+	for i := range cr {
+		miss[i] = !cr[i].Hit
+	}
+}
+
+// BenchmarkArenaReplay measures the replay hot path end to end — the
+// chunked cpu loop feeding both L1 simulators — from the two sweep
+// sources: a fresh generator stream per replay (what every grid point
+// used to do) and a cursor over the shared decode-once slab. The gap
+// between the two is the generation cost decode-once removes; the
+// absolute throughput is the cache.AccessBatch inner loop, the
+// hottest code in the repo.
 func BenchmarkArenaReplay(b *testing.B) {
 	w, err := ByName("gsm_c")
 	if err != nil {
 		b.Fatal(err)
 	}
 	w = w.ScaledTo(100_000)
-	buf := make([]trace.Inst, 4096)
+	cfg := cpu.Config{MemLatency: 20}
+	geom := cache.Config{Sets: 32, Ways: 8, LineBytes: 32}
+	replay := func(b *testing.B, s trace.Stream) {
+		il1 := &cachePort{c: cache.MustNew(geom)}
+		dl1 := &cachePort{c: cache.MustNew(geom)}
+		if _, err := cpu.Run(cfg, il1, dl1, s); err != nil {
+			b.Fatal(err)
+		}
+	}
 	b.Run("generator", func(b *testing.B) {
 		b.SetBytes(int64(w.Instructions))
 		for i := 0; i < b.N; i++ {
-			s := w.Stream().(trace.BatchStream)
-			for s.NextBatch(buf) != 0 {
-			}
+			replay(b, w.Stream())
 		}
 	})
 	b.Run("arena", func(b *testing.B) {
@@ -94,9 +139,7 @@ func BenchmarkArenaReplay(b *testing.B) {
 		b.ResetTimer()
 		b.SetBytes(int64(w.Instructions))
 		for i := 0; i < b.N; i++ {
-			c := a.Cursor()
-			for c.NextBatch(buf) != 0 {
-			}
+			replay(b, a.Cursor())
 		}
 	})
 }

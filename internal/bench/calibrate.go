@@ -1,0 +1,55 @@
+// Corpus calibration: generator footprints sized against a cache
+// geometry instead of hand-picked byte counts, so capacity sweeps track
+// whatever configuration is under test (the ROADMAP follow-up). The
+// experiments' corpus-miss capacity axis replays CalibratedCorpus
+// instances alongside the registered corpus.
+package bench
+
+import "edcache/internal/cache"
+
+// CalibrateFootprint returns a generator data footprint sized at mult ×
+// the geometry's capacity, rounded up to whole lines: mult 1 is a
+// working set that exactly fits the cache, 2 one that thrashes it
+// two-fold, 0.5 one that fits half of it. The result never drops below
+// two lines — a generator needs at least that to exercise reuse.
+func CalibrateFootprint(cfg cache.Config, mult float64) int {
+	bytes := int(mult * float64(cfg.SizeBytes()))
+	if rem := bytes % cfg.LineBytes; rem != 0 {
+		bytes += cfg.LineBytes - rem
+	}
+	if floor := 2 * cfg.LineBytes; bytes < floor {
+		bytes = floor
+	}
+	return bytes
+}
+
+// calibrationPoints are the capacity multiples CalibratedCorpus sizes
+// against: exactly fitting, 2× (moderate capacity pressure) and 8×
+// (streaming far beyond the cache).
+var calibrationPoints = []struct {
+	Suffix string
+	Mult   float64
+}{
+	{"fit", 1},
+	{"x2", 2},
+	{"x8", 8},
+}
+
+// CalibratedCorpus returns generator instances whose data footprints
+// are calibrated to the given geometry at fit/2×/8× capacity: a
+// streaming stencil (capacity misses appear as soon as the footprint
+// exceeds the cache) and a pointer chase (the same growth measured
+// under dependent loads). Names are cal_<family>_<fit|x2|x8>; the
+// instances are not part of the registered corpus (ByName/Full), they
+// exist for capacity axes that must track the configured geometry.
+func CalibratedCorpus(cfg cache.Config) []Workload {
+	out := make([]Workload, 0, 2*len(calibrationPoints))
+	for i, p := range calibrationPoints {
+		fp := CalibrateFootprint(cfg, p.Mult)
+		out = append(out,
+			Stencil("cal_stencil_"+p.Suffix, BigBench, fp, 4, int64(301+i)),
+			PointerChase("cal_chase_"+p.Suffix, BigBench, fp, 4, int64(311+i)),
+		)
+	}
+	return out
+}

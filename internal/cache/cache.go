@@ -3,6 +3,16 @@
 // write-back write-allocate policy, and per-way enable/disable — the
 // mechanism the hybrid architecture uses to gate the HP ways off at ULE
 // mode (gated-Vdd, Powell et al.).
+//
+// The simulator is laid out structure-of-arrays: tags and LRU ticks live
+// in parallel slabs (sets × ways, row-major), while the valid, dirty and
+// enabled flags are packed one bit per way into per-set mask words. A
+// set probe is therefore a short contiguous tag scan gated by a single
+// mask word, the all-ways-off guard is one compare against the enabled
+// mask (maintained by SetWayEnabled, never re-derived per access), and
+// Flush/SetWayEnabled clear whole sets with bulk mask operations. The
+// layout caps associativity at 64 ways — far beyond the paper's 8 — so
+// every way state of a set fits one machine word.
 package cache
 
 import (
@@ -13,7 +23,7 @@ import (
 // Config is the geometry of one cache.
 type Config struct {
 	Sets      int // number of sets (power of two)
-	Ways      int // associativity
+	Ways      int // associativity (at most 64 — way flags pack into one word)
 	LineBytes int // line size in bytes (power of two)
 }
 
@@ -31,14 +41,10 @@ func (c Config) Validate() error {
 	if c.Ways <= 0 {
 		return fmt.Errorf("cache: ways %d must be positive", c.Ways)
 	}
+	if c.Ways > 64 {
+		return fmt.Errorf("cache: ways %d exceeds the 64-way packed-mask limit", c.Ways)
+	}
 	return nil
-}
-
-type line struct {
-	valid bool
-	dirty bool
-	tag   uint32
-	lru   uint64 // last-touch tick; larger = more recent
 }
 
 // Result describes one access.
@@ -53,12 +59,40 @@ type Result struct {
 // per-run mutable state and is not safe for concurrent use; concurrent
 // simulations each build their own (core.System does this per run).
 type Cache struct {
-	cfg     Config
-	lines   []line // sets × ways, row-major by set
-	enabled []bool
+	cfg  Config
+	ways int
+
+	// Parallel slabs, sets × ways row-major: the tag and last-touch
+	// tick of every line.
+	tags []uint32
+	lru  []uint64
+
+	// Per-set packed way masks: bit w of valid[s]/dirty[s] is the
+	// valid/dirty flag of way w in set s. dirty is always a subset of
+	// valid. Lines in invalid ways may hold stale tags and ticks — both
+	// are only ever read under the valid mask.
+	valid []uint64
+	dirty []uint64
+
+	// enabled is the powered-way mask, maintained by SetWayEnabled.
+	// enabled == 0 is the all-ways-gated state every access path guards
+	// against with a single compare.
+	enabled uint64
+
 	tick    uint64
 	offBits uint
 	idxBits uint
+
+	// Last-line memo: the (set, tag, way) of the immediately preceding
+	// access. Between two consecutive accesses nothing else mutates the
+	// cache (a Cache is single-goroutine, and Flush/SetWayEnabled
+	// invalidate the memo), so an access to the same line is provably a
+	// hit at the same way — no probe, no victim scan. Sequential fetch
+	// (several instructions per line) and streaming data make this the
+	// most common case of real replay.
+	mSet int32 // -1 when the memo is invalid
+	mWay int32
+	mTag uint32
 }
 
 // New builds a cache with all ways enabled.
@@ -66,17 +100,18 @@ func New(cfg Config) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	c := &Cache{
+	return &Cache{
 		cfg:     cfg,
-		lines:   make([]line, cfg.Sets*cfg.Ways),
-		enabled: make([]bool, cfg.Ways),
+		ways:    cfg.Ways,
+		tags:    make([]uint32, cfg.Sets*cfg.Ways),
+		lru:     make([]uint64, cfg.Sets*cfg.Ways),
+		valid:   make([]uint64, cfg.Sets),
+		dirty:   make([]uint64, cfg.Sets),
+		enabled: ^uint64(0) >> (64 - uint(cfg.Ways)),
 		offBits: uint(bits.TrailingZeros32(uint32(cfg.LineBytes))),
 		idxBits: uint(bits.TrailingZeros32(uint32(cfg.Sets))),
-	}
-	for i := range c.enabled {
-		c.enabled[i] = true
-	}
-	return c, nil
+		mSet:    -1,
+	}, nil
 }
 
 // MustNew is New, panicking on error.
@@ -92,84 +127,114 @@ func MustNew(cfg Config) *Cache {
 func (c *Cache) Config() Config { return c.cfg }
 
 // SetWayEnabled gates one way on or off. Disabling a way invalidates its
-// contents (gated-Vdd loses state); the caller is responsible for any
-// write-back policy at mode switches (the architecture flushes before
-// switching).
+// contents (gated-Vdd loses state) — one mask-bit clear per set, no line
+// walk; the caller is responsible for any write-back policy at mode
+// switches (the architecture flushes before switching).
 func (c *Cache) SetWayEnabled(way int, on bool) {
-	if way < 0 || way >= c.cfg.Ways {
+	if way < 0 || way >= c.ways {
 		panic(fmt.Sprintf("cache: way %d out of range", way))
 	}
-	if !on {
-		for set := 0; set < c.cfg.Sets; set++ {
-			c.lines[set*c.cfg.Ways+way] = line{}
-		}
+	c.mSet = -1 // line validity may change under the memo
+	bit := uint64(1) << uint(way)
+	if on {
+		c.enabled |= bit
+		return
 	}
-	c.enabled[way] = on
+	for set := range c.valid {
+		c.valid[set] &^= bit
+		c.dirty[set] &^= bit
+	}
+	c.enabled &^= bit
 }
 
 // WayEnabled reports whether a way is powered.
-func (c *Cache) WayEnabled(way int) bool { return c.enabled[way] }
+func (c *Cache) WayEnabled(way int) bool { return c.enabled&(uint64(1)<<uint(way)) != 0 }
 
-// EnabledWays returns the number of powered ways.
-func (c *Cache) EnabledWays() int {
-	n := 0
-	for _, e := range c.enabled {
-		if e {
-			n++
-		}
-	}
-	return n
-}
-
-// index and tag decomposition of an address.
-func (c *Cache) split(addr uint32) (set int, tag uint32) {
-	set = int((addr >> c.offBits) & uint32(c.cfg.Sets-1))
-	tag = addr >> (c.offBits + c.idxBits)
-	return set, tag
-}
+// EnabledWays returns the number of powered ways (one popcount of the
+// enabled mask).
+func (c *Cache) EnabledWays() int { return bits.OnesCount64(c.enabled) }
 
 // Access performs a read (write=false) or write (write=true) with
 // write-allocate semantics: misses always fill the line into the LRU
 // enabled way.
 func (c *Cache) Access(addr uint32, write bool) Result {
-	if c.EnabledWays() == 0 {
+	if c.enabled == 0 {
 		panic("cache: access with all ways gated off")
 	}
-	set, tag := c.split(addr)
-	base := set * c.cfg.Ways
+	set := int((addr >> c.offBits) & uint32(c.cfg.Sets-1))
+	tag := addr >> (c.offBits + c.idxBits)
 	c.tick++
 
-	for w := 0; w < c.cfg.Ways; w++ {
-		ln := &c.lines[base+w]
-		if c.enabled[w] && ln.valid && ln.tag == tag {
-			ln.lru = c.tick
+	// Same line as the previous access: a guaranteed hit at the same
+	// way — nothing can have displaced it in between. AccessBatch
+	// carries the identical fast path inline in its loop; the property
+	// and differential tests hold the two to one behaviour.
+	if int32(set) == c.mSet && tag == c.mTag {
+		w := int(c.mWay)
+		c.lru[set*c.ways+w] = c.tick
+		if write {
+			c.dirty[set] |= uint64(1) << uint(w)
+		}
+		return Result{Hit: true, Way: w}
+	}
+	return c.accessSlow(set, tag, write)
+}
+
+// accessSlow is the probe-and-fill path shared by Access and
+// AccessBatch, entered once the last-line memo has missed; the caller
+// has already split the address, bumped the tick and established that
+// at least one way is enabled (SetWayEnabled cannot run mid-batch — a
+// Cache is single-goroutine). It leaves the memo pointing at the line
+// it touched.
+func (c *Cache) accessSlow(set int, tag uint32, write bool) Result {
+	base := set * c.ways
+
+	// Probe: one mask word selects the live ways; the tag scan walks
+	// only their contiguous uint32 row entries (cost tracks the number
+	// of powered, valid ways, not the nominal associativity).
+	tags := c.tags[base : base+c.ways]
+	for live := c.valid[set] & c.enabled; live != 0; live &= live - 1 {
+		w := bits.TrailingZeros64(live)
+		if tags[w] == tag {
+			c.lru[base+w] = c.tick
 			if write {
-				ln.dirty = true
+				c.dirty[set] |= uint64(1) << uint(w)
 			}
+			c.mSet, c.mWay, c.mTag = int32(set), int32(w), tag
 			return Result{Hit: true, Way: w}
 		}
 	}
 
-	// Miss: pick an invalid enabled way, else the LRU enabled way.
-	victim := -1
-	var oldest uint64 = ^uint64(0)
-	for w := 0; w < c.cfg.Ways; w++ {
-		if !c.enabled[w] {
-			continue
-		}
-		ln := &c.lines[base+w]
-		if !ln.valid {
-			victim = w
-			break
-		}
-		if ln.lru < oldest {
-			oldest = ln.lru
-			victim = w
+	// Miss: fill the lowest invalid enabled way if one exists, else the
+	// least-recently-used enabled way.
+	var victim int
+	if avail := c.enabled &^ c.valid[set]; avail != 0 {
+		victim = bits.TrailingZeros64(avail)
+	} else {
+		lru := c.lru[base : base+c.ways]
+		oldest := ^uint64(0)
+		for en := c.enabled; en != 0; en &= en - 1 {
+			w := bits.TrailingZeros64(en)
+			if lru[w] < oldest {
+				oldest, victim = lru[w], w
+			}
 		}
 	}
-	ln := &c.lines[base+victim]
-	res := Result{Way: victim, Evicted: ln.valid, Writeback: ln.valid && ln.dirty}
-	*ln = line{valid: true, tag: tag, lru: c.tick, dirty: write}
+	bit := uint64(1) << uint(victim)
+	res := Result{
+		Way:       victim,
+		Evicted:   c.valid[set]&bit != 0,
+		Writeback: c.valid[set]&c.dirty[set]&bit != 0,
+	}
+	c.valid[set] |= bit
+	if write {
+		c.dirty[set] |= bit
+	} else {
+		c.dirty[set] &^= bit
+	}
+	tags[victim] = tag
+	c.lru[base+victim] = c.tick
+	c.mSet, c.mWay, c.mTag = int32(set), int32(victim), tag
 	return res
 }
 
@@ -181,26 +246,52 @@ type Op struct {
 
 // AccessBatch performs the ops in order, writing the i-th access's
 // outcome into res[i]. It is semantically identical to calling Access in
-// a loop — same state transitions, same results — but hot replay loops
-// pay one call per chunk instead of one dynamic dispatch per access,
-// which is what the cpu package's batched fast path relies on.
+// a loop — same state transitions, same results — but the all-ways-off
+// guard is hoisted to one compare per batch, the geometry and memo live
+// in registers across the chunk, and the last-line fast path runs
+// inline: one inner loop over the SoA state with a single call out only
+// when a probe is actually needed. This is the loop the cpu package's
+// batched replay rides on.
 func (c *Cache) AccessBatch(ops []Op, res []Result) {
 	if len(res) < len(ops) {
 		panic(fmt.Sprintf("cache: AccessBatch result buffer %d too small for %d ops", len(res), len(ops)))
 	}
-	for i, op := range ops {
-		res[i] = c.Access(op.Addr, op.Write)
+	if len(ops) == 0 {
+		return
+	}
+	if c.enabled == 0 {
+		panic("cache: access with all ways gated off")
+	}
+	res = res[:len(ops)]
+	offBits, idxBits := c.offBits, c.offBits+c.idxBits
+	setMask := uint32(c.cfg.Sets - 1)
+	mSet, mWay, mTag := c.mSet, int(c.mWay), c.mTag
+	for i := range ops {
+		addr, write := ops[i].Addr, ops[i].Write
+		set := int((addr >> offBits) & setMask)
+		tag := addr >> idxBits
+		c.tick++
+		if int32(set) == mSet && tag == mTag {
+			c.lru[set*c.ways+mWay] = c.tick
+			if write {
+				c.dirty[set] |= uint64(1) << uint(mWay)
+			}
+			res[i] = Result{Hit: true, Way: mWay}
+			continue
+		}
+		res[i] = c.accessSlow(set, tag, write)
+		mSet, mWay, mTag = c.mSet, int(c.mWay), c.mTag
 	}
 }
 
 // Contains reports whether the address currently hits (without touching
 // LRU state) — a test and debugging helper.
 func (c *Cache) Contains(addr uint32) bool {
-	set, tag := c.split(addr)
-	base := set * c.cfg.Ways
-	for w := 0; w < c.cfg.Ways; w++ {
-		ln := c.lines[base+w]
-		if c.enabled[w] && ln.valid && ln.tag == tag {
+	set := int((addr >> c.offBits) & uint32(c.cfg.Sets-1))
+	tag := addr >> (c.offBits + c.idxBits)
+	tags := c.tags[set*c.ways : set*c.ways+c.ways]
+	for live := c.valid[set] & c.enabled; live != 0; live &= live - 1 {
+		if tags[bits.TrailingZeros64(live)] == tag {
 			return true
 		}
 	}
@@ -208,16 +299,15 @@ func (c *Cache) Contains(addr uint32) bool {
 }
 
 // Flush invalidates the whole cache and returns the number of dirty
-// lines that would be written back (the mode-switch cost).
+// lines that would be written back (the mode-switch cost). One popcount
+// and two mask clears per set — no line walk.
 func (c *Cache) Flush() int {
+	c.mSet = -1
 	dirty := 0
-	for i := range c.lines {
-		if c.lines[i].valid && c.lines[i].dirty {
-			dirty++
-		}
-	}
-	for i := range c.lines {
-		c.lines[i] = line{}
+	for set := range c.valid {
+		dirty += bits.OnesCount64(c.valid[set] & c.dirty[set])
+		c.valid[set] = 0
+		c.dirty[set] = 0
 	}
 	return dirty
 }

@@ -16,7 +16,11 @@ func TestConfigValidation(t *testing.T) {
 		{Sets: 0, Ways: 8, LineBytes: 32},
 		{Sets: 33, Ways: 8, LineBytes: 32},
 		{Sets: 32, Ways: 0, LineBytes: 32},
+		{Sets: 32, Ways: 65, LineBytes: 32}, // beyond the packed-mask width
 		{Sets: 32, Ways: 8, LineBytes: 24},
+	}
+	if err := (Config{Sets: 1, Ways: 64, LineBytes: 32}).Validate(); err != nil {
+		t.Errorf("64-way config rejected: %v", err)
 	}
 	for _, cfg := range bad {
 		if err := cfg.Validate(); err == nil {

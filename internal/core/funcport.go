@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"edcache/internal/cache"
 	"edcache/internal/cpu"
 	"edcache/internal/trace"
 )
@@ -20,6 +21,7 @@ import (
 type funcPort struct {
 	fc    *FunctionalCache
 	extra int
+	ops   []cache.Op // AccessBatch scratch
 }
 
 // funcStoreValue synthesizes the value a replayed store writes. Trace
@@ -43,13 +45,21 @@ func (p *funcPort) access(addr uint32, write bool) (miss bool) {
 // Access implements cpu.Port.
 func (p *funcPort) Access(addr uint32, write bool) bool { return p.access(addr, write) }
 
-// AccessBatch implements cpu.BatchPort: one call per instruction
-// chunk, one loop over the concrete functional cache. Behaviour is
-// identical to calling Access for each op in order.
+// AccessBatch implements cpu.BatchPort: the chunk's timing accesses
+// run as one batched call against the functional cache's simulator and
+// the protected-array work consumes the Result slice — no scalar
+// fallback. Behaviour is identical to calling Access for each op in
+// order.
 func (p *funcPort) AccessBatch(ops []cpu.PortOp, miss []bool) {
-	for i, op := range ops {
-		miss[i] = p.access(op.Addr, op.Write)
+	n := len(ops)
+	if cap(p.ops) < n {
+		p.ops = make([]cache.Op, n)
 	}
+	co := p.ops[:n]
+	for i, op := range ops {
+		co[i] = cache.Op{Addr: op.Addr, Write: op.Write}
+	}
+	p.fc.accessBatch(co, funcStoreValue, miss)
 }
 
 // ExtraHitLatency implements cpu.Port.

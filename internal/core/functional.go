@@ -33,6 +33,9 @@ type FunctionalCache struct {
 	Uncorrectable int
 	// CorrectedReads counts transparently repaired reads.
 	CorrectedReads int
+
+	// res is accessBatch's Result scratch, sized to the largest chunk.
+	res []cache.Result
 }
 
 // NewFunctionalCache builds the functional ULE cache: `lines` sets of
@@ -90,6 +93,36 @@ func (f *FunctionalCache) Store(addr uint32, value uint32) bool {
 	}
 	f.way.WriteData(set, word, uint64(value))
 	return res.Hit
+}
+
+// accessBatch replays ops in order on the batched replay path: the
+// whole chunk drives the timing simulator as one cache.AccessBatch
+// call, then the protected-array work — fills, encoded stores, decoded
+// loads — consumes the Result slice per op. Stores write value(addr)
+// (the replay pattern ReplayFunctional uses; trace records carry no
+// data). Semantically this is exactly Load/Store per op: the timing
+// simulator sees the identical access sequence, and the protected
+// state advances in the same order because nothing between the ops
+// touches it.
+func (f *FunctionalCache) accessBatch(ops []cache.Op, value func(addr uint32) uint32, miss []bool) {
+	if cap(f.res) < len(ops) {
+		f.res = make([]cache.Result, len(ops))
+	}
+	res := f.res[:len(ops)]
+	f.sim.AccessBatch(ops, res)
+	for i, op := range ops {
+		set, word := f.locate(op.Addr)
+		if !res[i].Hit {
+			f.fill(set, op.Addr, res[i])
+		}
+		if op.Write {
+			f.way.WriteData(set, word, uint64(value(op.Addr)))
+		} else {
+			_, dres := f.way.ReadData(set, word)
+			f.note(dres)
+		}
+		miss[i] = !res[i].Hit
+	}
 }
 
 // fill loads a line from memory through the encoder, writing back the

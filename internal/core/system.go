@@ -264,6 +264,12 @@ type port struct {
 	cur  uint8
 	mark portCounters
 	segs []portPhase
+
+	// Scratch for AccessBatch: the op list handed to the simulator and
+	// the Result slice the tally consumes, sized to the largest chunk
+	// seen (one allocation per run in practice).
+	ops []cache.Op
+	res []cache.Result
 }
 
 // tally folds one access outcome into the port's event counters and
@@ -314,17 +320,32 @@ func (p *port) Access(addr uint32, write bool) bool {
 	return p.tally(p.sim.Access(addr, write), write)
 }
 
-// AccessBatch implements cpu.BatchPort: one call per instruction chunk,
-// one loop over the concrete cache — no dynamic dispatch per access.
-// Behaviour is identical to calling Access for each op in order.
+// AccessBatch implements cpu.BatchPort: the whole chunk goes to the
+// cache simulator as one cache.AccessBatch call, then the energy tally
+// consumes the Result slice — no per-access dynamic dispatch and no
+// scalar fallback anywhere on the path. Behaviour is identical to
+// calling Access for each op in order (cache.AccessBatch guarantees
+// the same state transitions, and the tally is a fold over the same
+// per-op outcomes).
 func (p *port) AccessBatch(ops []cpu.PortOp, miss []bool) {
+	n := len(ops)
+	if cap(p.ops) < n {
+		p.ops = make([]cache.Op, n)
+		p.res = make([]cache.Result, n)
+	}
+	co, cr := p.ops[:n], p.res[:n]
 	for i, op := range ops {
-		if op.Write {
+		co[i] = cache.Op{Addr: op.Addr, Write: op.Write}
+	}
+	p.sim.AccessBatch(co, cr)
+	for i := range cr {
+		write := co[i].Write
+		if write {
 			p.writes++
 		} else {
 			p.reads++
 		}
-		miss[i] = p.tally(p.sim.Access(op.Addr, op.Write), op.Write)
+		miss[i] = p.tally(cr[i], write)
 	}
 }
 

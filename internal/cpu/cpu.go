@@ -220,9 +220,10 @@ func (l *phaseLedger) finish(st *Stats) {
 }
 
 // batchSize is the chunk length of the batched replay path: large
-// enough to amortise the per-chunk calls, small enough that the three
-// scratch buffers stay cache-resident (~64 KB).
-const batchSize = 4096
+// enough to amortise the per-chunk calls, small enough that the
+// scratch buffers (ops, outcomes, use distances — ~20 KB) plus the
+// chunk's instructions stay L1-resident under the ports' own scratch.
+const batchSize = 1024
 
 // Run replays the stream through the core and returns the run's stats.
 //
@@ -336,6 +337,7 @@ type batcher struct {
 	imiss  []bool
 	dops   []PortOp
 	dmiss  []bool
+	udist  []uint8 // use distance per data op (0 for stores)
 }
 
 func newBatcher(cfg Config, il1, dl1 BatchPort) *batcher {
@@ -348,72 +350,90 @@ func newBatcher(cfg Config, il1, dl1 BatchPort) *batcher {
 		imiss:  make([]bool, batchSize),
 		dops:   make([]PortOp, 0, batchSize),
 		dmiss:  make([]bool, batchSize),
+		udist:  make([]uint8, 0, batchSize),
 	}
 }
 
+// countTrue returns the number of set entries — the batched miss
+// count. The conditional increment lowers to a branch-free add, so
+// tallying a chunk's misses is one linear pass over a byte slice.
+func countTrue(m []bool) uint64 {
+	var n uint64
+	for _, v := range m {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
 // process performs all instruction fetches of the slice as one IL1
-// batch, all data accesses (in program order) as one DL1 batch, then
-// walks the instructions accumulating timing.
+// batch and all data accesses (in program order) as one DL1 batch. One
+// classifying pass builds both op lists and the mix counters; the
+// timing then needs no second walk over the instructions — misses are
+// a branch-free count over each outcome slice (every miss costs the
+// same latency regardless of which instruction missed), and load-use
+// stalls read the per-op use distances recorded alongside the data ops,
+// only when the EDC stage is active. Counters accumulate in locals and
+// fold into Stats once per chunk: every term is a commutative sum, and
+// the phase ledger only snapshots Stats between process calls, so
+// chunk-granular flushing is invisible to the per-phase segmentation.
 func (b *batcher) process(insts []trace.Inst) {
-	st := &b.st
 	n := len(insts)
-	for i := 0; i < n; i++ {
-		b.iops[i] = PortOp{Addr: insts[i].PC}
-	}
-	b.il1.AccessBatch(b.iops[:n], b.imiss[:n])
-
-	b.dops = b.dops[:0]
-	for i := 0; i < n; i++ {
-		if insts[i].IsLoad {
-			b.dops = append(b.dops, PortOp{Addr: insts[i].Addr})
-		} else if insts[i].IsStore {
-			b.dops = append(b.dops, PortOp{Addr: insts[i].Addr, Write: true})
-		}
-	}
-	b.dl1.AccessBatch(b.dops, b.dmiss[:len(b.dops)])
-
-	d := 0
-	for i := 0; i < n; i++ {
+	iops := b.iops[:n]
+	dops := b.dops[:0]
+	udist := b.udist[:0]
+	var loads, stores, branches, taken uint64
+	for i := range insts {
 		inst := &insts[i]
-		st.Instructions++
-		st.Cycles++ // issue slot
-		st.IAccesses++
-		if b.imiss[i] {
-			st.IMisses++
-			st.Cycles += b.mem
-			st.MissCycles += b.mem
+		iops[i] = PortOp{Addr: inst.PC}
+		if inst.IsLoad {
+			loads++
+			dops = append(dops, PortOp{Addr: inst.Addr})
+			udist = append(udist, inst.UseDist)
+		} else if inst.IsStore {
+			stores++
+			dops = append(dops, PortOp{Addr: inst.Addr, Write: true})
+			udist = append(udist, 0)
+		} else if inst.IsBranch {
+			branches++
+			if inst.Taken {
+				taken++
+			}
 		}
-		switch {
-		case inst.IsLoad:
-			st.Loads++
-			st.DAccesses++
-			if b.dmiss[d] {
-				st.DMisses++
-				st.Cycles += b.mem
-				st.MissCycles += b.mem
-			} else if b.dExtra > 0 && inst.UseDist > 0 {
-				if stall := 1 + b.dExtra - int(inst.UseDist); stall > 0 {
-					st.Cycles += uint64(stall)
-					st.LoadUseStalls += uint64(stall)
+	}
+	b.dops, b.udist = dops, udist
+	b.il1.AccessBatch(iops, b.imiss[:n])
+	b.dl1.AccessBatch(dops, b.dmiss[:len(dops)])
+
+	imisses := countTrue(b.imiss[:n])
+	dmisses := countTrue(b.dmiss[:len(dops)])
+	var loadUse uint64
+	if dExtra := b.dExtra; dExtra > 0 {
+		dmiss := b.dmiss
+		for d, ud := range udist {
+			if ud > 0 && !dmiss[d] {
+				if stall := 1 + dExtra - int(ud); stall > 0 {
+					loadUse += uint64(stall)
 				}
 			}
-			d++
-		case inst.IsStore:
-			st.Stores++
-			st.DAccesses++
-			if b.dmiss[d] {
-				st.DMisses++
-				st.Cycles += b.mem
-				st.MissCycles += b.mem
-			}
-			d++
-		case inst.IsBranch:
-			st.Branches++
-			if inst.Taken {
-				st.TakenBranches++
-			}
 		}
 	}
+
+	st := &b.st
+	missCycles := b.mem * (imisses + dmisses)
+	st.Instructions += uint64(n)
+	st.Cycles += uint64(n) + missCycles + loadUse // issue slots + stalls
+	st.IAccesses += uint64(n)
+	st.IMisses += imisses
+	st.Loads += loads
+	st.Stores += stores
+	st.Branches += branches
+	st.TakenBranches += taken
+	st.DAccesses += loads + stores
+	st.DMisses += dmisses
+	st.LoadUseStalls += loadUse
+	st.MissCycles += missCycles
 }
 
 // runBatched is the chunked fast path of Run. For phase-annotated

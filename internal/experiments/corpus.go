@@ -133,20 +133,41 @@ func corpusExperiment(o Options) sim.Experiment {
 	}
 }
 
+// corpusMissGeometry is the full cache geometry the capacity sweep
+// slices (the paper's L1) and the geometry the calibrated workloads
+// are footprint-sized against.
+var corpusMissGeometry = cache.Config{Sets: 32, Ways: 8, LineBytes: 32}
+
+// calibratedByName resolves one of the capacity-calibrated generator
+// instances (bench.CalibratedCorpus over the sweep geometry) at the
+// configured trace length.
+func calibratedByName(name string, instructions int) (bench.Workload, error) {
+	for _, w := range bench.CalibratedCorpus(corpusMissGeometry) {
+		if w.Name == name {
+			return w.ScaledTo(instructions), nil
+		}
+	}
+	return bench.Workload{}, fmt.Errorf("experiments: unknown calibrated workload %q", name)
+}
+
 // corpusMissExperiment characterises every corpus workload's data-side
 // locality on the raw cache simulator: DL1 miss rate as capacity grows
 // from the 1 KB ULE way to the full 8 KB cache (ways 1, 2, 4, 8). The
 // sweep separates capacity misses (vanish with ways) from the
 // adversary's conflict misses (they never do) and runs on the batched
 // cache entry point over shared decode-once arenas — no energy model
-// and no regeneration, so the full grid is cheap. Options.TraceFiles
-// adds captured trace files to the capacity axis.
+// and no regeneration, so the full grid is cheap. Alongside the
+// registered corpus it sweeps bench.CalibratedCorpus: stencil and
+// pointer-chase instances footprint-sized at fit/2×/8× of the swept
+// geometry by bench.CalibrateFootprint, so the capacity axis carries
+// points that track the cache configuration instead of hand-picked
+// byte counts. Options.TraceFiles adds captured trace files too.
 func corpusMissExperiment(o Options) sim.Experiment {
 	o = o.withDefaults()
 	ways := []int{1, 2, 4, 8}
 	return sim.Def{
 		ExpName: "corpus-miss",
-		Desc:    "corpus locality sweep — DL1 miss rate vs cache capacity (1-8 ways) for every registered workload (and any -trace file)",
+		Desc:    "corpus locality sweep — DL1 miss rate vs cache capacity (1-8 ways) for every registered workload, geometry-calibrated footprints (and any -trace file)",
 		GridFn: func() []sim.Task {
 			traceNames := traceSourceNames(o.TraceFiles)
 			var tasks []sim.Task
@@ -156,6 +177,15 @@ func corpusMissExperiment(o Options) sim.Experiment {
 						Label: fmt.Sprintf("%s ways=%d", w.Name, k),
 						Params: sim.P("workload", w.Name, "ways", strconv.Itoa(k),
 							"suite", w.Suite.String(), "pattern", w.Pattern.String()),
+					})
+				}
+			}
+			for _, w := range bench.CalibratedCorpus(corpusMissGeometry) {
+				for _, k := range ways {
+					tasks = append(tasks, sim.Task{
+						Label: fmt.Sprintf("%s ways=%d", w.Name, k),
+						Params: sim.P("workload", w.Name, "ways", strconv.Itoa(k),
+							"suite", "calibrated", "pattern", w.Pattern.String()),
 					})
 				}
 			}
@@ -175,11 +205,20 @@ func corpusMissExperiment(o Options) sim.Experiment {
 			if err != nil {
 				return sim.Result{}, err
 			}
-			name, arena, err := o.taskArena(t)
-			if err != nil {
+			var name string
+			var arena *trace.Arena
+			if t.Params["suite"] == "calibrated" {
+				w, err := calibratedByName(t.Params["workload"], o.Instructions)
+				if err != nil {
+					return sim.Result{}, err
+				}
+				name, arena = w.Name, o.arenas.Get(w)
+			} else if name, arena, err = o.taskArena(t); err != nil {
 				return sim.Result{}, err
 			}
-			dl1, err := cache.New(cache.Config{Sets: 32, Ways: k, LineBytes: 32})
+			geom := corpusMissGeometry
+			geom.Ways = k
+			dl1, err := cache.New(geom)
 			if err != nil {
 				return sim.Result{}, err
 			}

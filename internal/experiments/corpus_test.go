@@ -130,4 +130,24 @@ func TestCorpusMissSweep(t *testing.T) {
 	if m := miss["adpcm_c"][8]; m > 5 {
 		t.Errorf("adpcm_c misses %.1f%% at full capacity, want near zero", m)
 	}
+	// The geometry-calibrated capacity axis: a footprint sized to fit
+	// the full cache streams without steady-state misses at 8 ways,
+	// while the 8× footprint keeps missing — capacity pressure tracking
+	// the configured geometry, not a hand-picked constant.
+	for _, name := range []string{"cal_stencil_fit", "cal_stencil_x8", "cal_chase_fit", "cal_chase_x8"} {
+		if _, ok := miss[name]; !ok {
+			t.Fatalf("calibrated workload %s missing from the capacity axis", name)
+		}
+	}
+	if fit, x8 := miss["cal_stencil_fit"][8], miss["cal_stencil_x8"][8]; x8 <= fit {
+		t.Errorf("stencil 8× footprint misses %.1f%% at full capacity vs fit's %.1f%% — capacity pressure not visible", x8, fit)
+	}
+	// The chase gives the sharp signal: a fitting working set settles to
+	// cold misses only, an 8× one misses on most dependent loads.
+	if fit := miss["cal_chase_fit"][8]; fit > 5 {
+		t.Errorf("fitting chase misses %.1f%% at full capacity, want near zero", fit)
+	}
+	if x8 := miss["cal_chase_x8"][8]; x8 < 50 {
+		t.Errorf("8× chase misses only %.1f%% at full capacity, want ≥ 50%%", x8)
+	}
 }

@@ -100,6 +100,7 @@ func RegisterAll(r *sim.Registry, o Options) {
 	r.MustRegister(corpusExperiment(o))
 	r.MustRegister(corpusMissExperiment(o))
 	r.MustRegister(phaseEPIExperiment(o))
+	r.MustRegister(funcCorrExperiment(o))
 }
 
 // scenarios is the evaluation order of the paper's two reliability

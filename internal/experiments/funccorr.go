@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"edcache/internal/core"
+	"edcache/internal/cpu"
+	"edcache/internal/faults"
+	"edcache/internal/sim"
+)
+
+// funcCorrWorkload is the corpus workload the functional campaign
+// replays: a SmallBench stencil whose code and data fit the 1 KB
+// single-way geometry the bit-accurate FunctionalCache models, so the
+// protected arrays see steady reuse rather than pure compulsory
+// misses.
+const funcCorrWorkload = "stencil_s"
+
+// funcCorrInstructions caps the per-die replay length: the protected
+// path runs every fetched and accessed word through encoder → fault
+// map → decoder, which is orders of magnitude more expensive than the
+// performance model, and correction counts converge long before the
+// paper-scale trace length.
+const funcCorrInstructions = 60_000
+
+// funcCorrExperiment puts the protected layer on the engine (the
+// ROADMAP follow-up): each grid task replays one corpus workload
+// through core.ReplayFunctional — both L1s behind bit-accurate EDC
+// codewords on the batched port — over freshly sampled faulty dice at
+// a swept fault probability (multiples of the sized ULE-mode Pf, the
+// paper's operating point). Dice that yield screening would reject
+// (more faults in one word than the code corrects) are counted and
+// skipped, exactly as manufacturing test would; accepted dice must
+// replay with zero uncorrectable reads, and the reported correction
+// counts show how hard the decoders work as Pf grows.
+func funcCorrExperiment(o Options) sim.Experiment {
+	o = o.withDefaults()
+	sizing := sizingFor()
+	// The sized ULE-mode Pf puts a couple of hard faults on every die;
+	// much past 10× of it, screening rejects nearly all silicon (a
+	// word collects more faults than the code corrects), so the axis
+	// spans the regime where dice are still manufacturable and the
+	// decoders visibly work harder as Pf grows.
+	pfScales := []float64{0.3, 1, 3, 10}
+	dice := o.Trials / 100
+	if dice < 2 {
+		dice = 2
+	}
+	if dice > 12 {
+		dice = 12
+	}
+	insts := o.Instructions
+	if insts > funcCorrInstructions {
+		insts = funcCorrInstructions
+	}
+	return sim.Def{
+		ExpName: "func-corr",
+		Desc:    "functional correction campaign — corpus replay through bit-accurate protected caches over sampled faulty dice, correction counts vs Pf",
+		GridFn: func() []sim.Task {
+			var tasks []sim.Task
+			for _, s := range scenarios {
+				for _, scale := range pfScales {
+					tasks = append(tasks, sim.Task{
+						Label: fmt.Sprintf("scenario=%v pf=%gx %s", s, scale, funcCorrWorkload),
+						Params: sim.P("scenario", s.String(), "pf_scale", fmt.Sprintf("%g", scale),
+							"workload", funcCorrWorkload),
+					})
+				}
+			}
+			return tasks
+		},
+		RunFn: func(t sim.Task, rng *rand.Rand) (sim.Result, error) {
+			s, err := taskScenario(t)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			var scale float64
+			if _, err := fmt.Sscanf(t.Params["pf_scale"], "%g", &scale); err != nil {
+				return sim.Result{}, fmt.Errorf("experiments: bad pf_scale %q", t.Params["pf_scale"])
+			}
+			res, err := sizing(s)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			w, err := workloadByName(t.Params["workload"], insts)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			arena := o.arenas.Get(w)
+
+			// The proposed ULE-mode way: its code kind sizes the word
+			// geometry the fault generator fills, its single-fault
+			// tolerance is the screening criterion (matching the
+			// reliability experiment's convention).
+			kind := s.ProposedCode()
+			check := kind.CheckBits()
+			geom := faults.WayGeometry{
+				Lines: 32, WordsPerLine: 8,
+				DataWordBits: 32 + check, TagWordBits: 26 + check,
+			}
+			pf := res.ProposedPf * scale
+
+			var accepted, rejected int
+			var faultCount, corrected, uncorrectable int
+			var replayed uint64
+			for d := 0; d < dice; d++ {
+				m, err := faults.Generate(geom, pf, rng)
+				if err != nil {
+					return sim.Result{}, err
+				}
+				faultCount += m.Count()
+				if !m.Usable(1) {
+					rejected++
+					continue
+				}
+				accepted++
+				il1, err := core.NewFunctionalCache(32, 8, kind, nil)
+				if err != nil {
+					return sim.Result{}, err
+				}
+				dl1, err := core.NewFunctionalCache(32, 8, kind, m)
+				if err != nil {
+					return sim.Result{}, err
+				}
+				st, err := core.ReplayFunctional(cpu.Config{MemLatency: 20}, il1, dl1, 1, arena.Cursor())
+				if err != nil {
+					return sim.Result{}, err
+				}
+				replayed += st.Instructions
+				corrected += dl1.CorrectedReads
+				uncorrectable += dl1.Uncorrectable
+			}
+			ms := []sim.Metric{
+				sim.Fmt("pf", pf, "%.3e"),
+				sim.Num("dice", float64(dice)),
+				sim.Num("accepted", float64(accepted)),
+				sim.Num("rejected", float64(rejected)),
+				sim.Fmt("faults_per_die", float64(faultCount)/float64(dice), "%.2f"),
+				sim.Num("uncorrectable", float64(uncorrectable)),
+			}
+			if accepted > 0 {
+				ms = append(ms,
+					sim.Fmt("corrected_per_die", float64(corrected)/float64(accepted), "%.1f"),
+					sim.Fmt("corrected_per_ki", 1000*float64(corrected)/float64(replayed), "%.3f"))
+			}
+			return sim.Result{Metrics: ms}, nil
+		},
+	}
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"testing"
+
+	"edcache/internal/sim"
+)
+
+// TestFuncCorrSweep pins the functional campaign's contract: the grid
+// covers both scenarios across the Pf axis, the swept Pf actually
+// grows along it, every sampled-and-accepted die replays with zero
+// uncorrectable reads (the architecture's correctness claim, now
+// exercised on the engine), and high-Pf points do find faulty silicon
+// to exercise the decoders on.
+func TestFuncCorrSweep(t *testing.T) {
+	o := tinyOptions()
+	o.Instructions = 20_000
+	o.Trials = 800 // 8 dice per grid point
+	e := funcCorrExperiment(o)
+	if want := 2 * 4; len(e.Grid()) != want {
+		t.Fatalf("func-corr grid has %d tasks, want %d (scenarios × Pf scales)", len(e.Grid()), want)
+	}
+	res, err := sim.Runner{Workers: 4, Seed: 11}.Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var faultyAccepted bool
+	lastPf := map[string]float64{}
+	for _, r := range res {
+		pf, ok := r.Metric("pf")
+		if !ok {
+			t.Fatalf("%s: no pf metric", r.Task.Label)
+		}
+		if prev, seen := lastPf[r.Task.Params["scenario"]]; seen && pf.Value <= prev {
+			t.Errorf("%s: pf %.3e not above previous point %.3e", r.Task.Label, pf.Value, prev)
+		}
+		lastPf[r.Task.Params["scenario"]] = pf.Value
+		if m, ok := r.Metric("uncorrectable"); !ok || m.Value != 0 {
+			t.Errorf("%s: accepted dice produced uncorrectable reads (%+v)", r.Task.Label, m)
+		}
+		acc, ok := r.Metric("accepted")
+		if !ok {
+			t.Fatalf("%s: no accepted metric", r.Task.Label)
+		}
+		d, _ := r.Metric("dice")
+		rej, _ := r.Metric("rejected")
+		if acc.Value+rej.Value != d.Value {
+			t.Errorf("%s: accepted %v + rejected %v != dice %v", r.Task.Label, acc.Value, rej.Value, d.Value)
+		}
+		fpd, _ := r.Metric("faults_per_die")
+		if acc.Value > 0 && fpd.Value > 0 {
+			faultyAccepted = true
+			if _, ok := r.Metric("corrected_per_ki"); !ok {
+				t.Errorf("%s: accepted dice but no correction-rate metric", r.Task.Label)
+			}
+		}
+	}
+	if !faultyAccepted {
+		t.Error("no grid point accepted a die with faults — the campaign never exercised a decoder on faulty silicon")
+	}
+}
+
+// TestFuncCorrRegistered makes sure the campaign is on the registry
+// (and therefore inside the workers-invariance determinism contract,
+// which runs every registered experiment at 1 and 8 workers).
+func TestFuncCorrRegistered(t *testing.T) {
+	reg := tinyRegistry(t)
+	e, ok := reg.Get("func-corr")
+	if !ok {
+		t.Fatal("func-corr not registered")
+	}
+	if len(e.Grid()) == 0 {
+		t.Fatal("func-corr grid empty")
+	}
+}
