@@ -310,6 +310,39 @@ func BenchmarkCorpusSweep(b *testing.B) {
 				})
 		}
 	})
+	// The single-pass engine: per workload, every (scenario × design ×
+	// mode) grid point joins one 8-member replay group over the shared
+	// slab — one walk, one classification, deduplicated simulators —
+	// and the capacity axis becomes one stack-distance profile pass
+	// instead of one replay per associativity. SetBytes stays the
+	// logical grid (the same replays' worth of results comes out), so
+	// MB/s measures the speedup directly against the arena variant.
+	b.Run("bank", func(b *testing.B) {
+		var members []core.GroupMember
+		for _, s := range scenarios {
+			for _, m := range modes {
+				for _, sys := range systems[s] {
+					members = append(members, core.GroupMember{Sys: sys, Mode: m})
+				}
+			}
+		}
+		b.SetBytes(replayed)
+		for i := 0; i < b.N; i++ {
+			arenas := bench.NewArenaCache()
+			for _, w := range workloads {
+				if _, err := core.RunGroupArena(w.Name, arenas.Get(w), members); err != nil {
+					b.Fatal(err)
+				}
+				prof := cache.MustNewStackProfile(cache.Config{Sets: 32, Ways: 8, LineBytes: 32})
+				experiments.ProfileDataRefs(arenas.Get(w).Cursor(), prof)
+				for _, k := range ways {
+					if prof.Misses(k) > prof.Refs() {
+						b.Fatal("impossible miss count")
+					}
+				}
+			}
+		}
+	})
 }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	go test -bench . -benchtime 1x ./... | benchjson -o BENCH.json
+//	go test -bench . -count 5 . | benchjson -o BENCH.json
 //	benchjson bench-smoke.txt
 //	benchjson -delta old.json new.json
 //	benchjson -delta -fail-above 1.10 old.json new.json
@@ -15,12 +16,20 @@
 // are skipped; the package of each benchmark is tracked from the
 // interleaved "pkg:" banners.
 //
+// Repeated samples of one benchmark — `go test -count=N` — collapse
+// into a single Result holding the per-metric mean, the sample count,
+// and a 95% confidence half-interval (Student's t), so an archived
+// trajectory records a distribution, not a point.
+//
 // -delta compares two previously archived JSON trajectories and prints
 // the per-benchmark ns/op ratio new/old (a ratio below 1 is a speedup)
 // plus benchmarks present on only one side. The exit status is zero
 // regardless of the ratios — the perf trajectory is informational —
-// unless -fail-above is set, in which case any ratio exceeding the
-// threshold fails the run (a CI perf gate).
+// unless -fail-above is set, in which case the run fails for any
+// benchmark whose whole ratio interval sits above the threshold:
+// (newMean−newCI)/(oldMean+oldCI) > gate. Single-sample trajectories
+// have zero-width intervals, so the gate degrades to a plain ratio
+// comparison against old archives.
 package main
 
 import (
@@ -29,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -42,14 +52,59 @@ func main() {
 	cli.Main("benchjson", run, nil)
 }
 
-// Result is one parsed benchmark line.
+// Result is one benchmark's aggregated samples (one line, or the
+// -count=N repeats of one name collapsed).
 type Result struct {
 	Pkg        string `json:"pkg,omitempty"`
 	Name       string `json:"name"`
 	Iterations int64  `json:"iterations"`
+	// Count is the number of samples folded into this result; absent
+	// (0) in pre-distribution archives, which read as single samples.
+	Count int64 `json:"count,omitempty"`
 	// Metrics maps a unit ("ns/op", "MB/s", "EPI-saving-%") to its
-	// value; encoding/json emits keys sorted, so output is stable.
+	// mean across samples; encoding/json emits keys sorted, so output
+	// is stable.
 	Metrics map[string]float64 `json:"metrics"`
+	// CI maps a unit to its 95% confidence half-interval (Student's t
+	// over Count samples); omitted for single samples.
+	CI map[string]float64 `json:"ci,omitempty"`
+}
+
+// tQuant95 is the two-sided 95% Student's t quantile by degrees of
+// freedom 1..30; beyond the table the normal quantile is close enough.
+var tQuant95 = []float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+func tQuantile(df int) float64 {
+	if df < 1 {
+		return 0
+	}
+	if df <= len(tQuant95) {
+		return tQuant95[df-1]
+	}
+	return 1.96
+}
+
+// meanCI reduces one metric's samples to (mean, 95% half-interval).
+func meanCI(xs []float64) (mean, ci float64) {
+	n := float64(len(xs))
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	s := math.Sqrt(ss / (n - 1))
+	return mean, tQuantile(len(xs)-1) * s / math.Sqrt(n)
 }
 
 // run is the testable driver body.
@@ -131,8 +186,25 @@ func benchKey(r Result) string {
 	return r.Pkg + " " + name
 }
 
+// nsDist is one side's ns/op distribution: mean and 95% half-interval
+// (zero for single-sample archives).
+type nsDist struct {
+	mean, ci float64
+}
+
+func (d nsDist) String() string {
+	if d.ci > 0 {
+		return fmt.Sprintf("%.6g±%.2g", d.mean, d.ci)
+	}
+	return fmt.Sprintf("%.6g", d.mean)
+}
+
 // runDelta renders the per-benchmark ns/op ratio table of two archived
-// trajectories and applies the optional -fail-above gate.
+// trajectories and applies the optional -fail-above gate. The gate is
+// interval-based: a benchmark fails only when even the optimistic end
+// of its ratio interval — new lower bound over old upper bound —
+// exceeds the threshold, so multi-sample archives don't trip it on
+// run-to-run noise.
 func runDelta(oldPath, newPath string, failAbove float64, stdout io.Writer) error {
 	oldResults, err := loadResults(oldPath)
 	if err != nil {
@@ -142,10 +214,10 @@ func runDelta(oldPath, newPath string, failAbove float64, stdout io.Writer) erro
 	if err != nil {
 		return err
 	}
-	oldNs := make(map[string]float64, len(oldResults))
+	oldNs := make(map[string]nsDist, len(oldResults))
 	for _, r := range oldResults {
 		if ns, ok := r.Metrics["ns/op"]; ok {
-			oldNs[benchKey(r)] = ns
+			oldNs[benchKey(r)] = nsDist{mean: ns, ci: r.CI["ns/op"]}
 		}
 	}
 	tw := tabWriter(stdout)
@@ -160,17 +232,18 @@ func runDelta(oldPath, newPath string, failAbove float64, stdout io.Writer) erro
 		if !ok {
 			continue
 		}
+		fresh := nsDist{mean: ns, ci: r.CI["ns/op"]}
 		old, ok := oldNs[key]
-		if !ok || old == 0 {
-			fmt.Fprintf(tw, "%s\t-\t%.6g\tnew\n", key, ns)
+		if !ok || old.mean == 0 {
+			fmt.Fprintf(tw, "%s\t-\t%s\tnew\n", key, fresh)
 			continue
 		}
-		ratio := ns / old
-		fmt.Fprintf(tw, "%s\t%.6g\t%.6g\t%.3fx\n", key, old, ns, ratio)
+		ratio := fresh.mean / old.mean
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.3fx\n", key, old, fresh, ratio)
 		if ratio > worst {
 			worst = ratio
 		}
-		if failAbove > 0 && ratio > failAbove {
+		if failAbove > 0 && (fresh.mean-fresh.ci)/(old.mean+old.ci) > failAbove {
 			failing = append(failing, fmt.Sprintf("%s (%.3fx)", key, ratio))
 		}
 	}
@@ -182,7 +255,7 @@ func runDelta(oldPath, newPath string, failAbove float64, stdout io.Writer) erro
 	}
 	sort.Strings(gone)
 	for _, key := range gone {
-		fmt.Fprintf(tw, "%s\t%.6g\t-\tgone\n", key, oldNs[key])
+		fmt.Fprintf(tw, "%s\t%s\t-\tgone\n", key, oldNs[key])
 	}
 	tw.Flush()
 	if worst > 0 {
@@ -195,11 +268,19 @@ func runDelta(oldPath, newPath string, failAbove float64, stdout io.Writer) erro
 	return nil
 }
 
-// Parse reads `go test -bench` output and returns every benchmark
-// result in order. Malformed benchmark lines are an error — silent
-// drops would punch holes in the trajectory.
+// sample is one raw benchmark line before aggregation.
+type benchLine struct {
+	pkg, name string
+	iters     int64
+	metrics   map[string]float64
+}
+
+// Parse reads `go test -bench` output and returns every benchmark in
+// first-appearance order, the -count=N repeats of one (pkg, name)
+// folded into a mean-and-interval Result. Malformed benchmark lines
+// are an error — silent drops would punch holes in the trajectory.
 func Parse(r io.Reader) ([]Result, error) {
-	var results []Result
+	var samples []benchLine
 	pkg := ""
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
@@ -228,21 +309,72 @@ func Parse(r io.Reader) ([]Result, error) {
 		if len(fields) < 4 || len(fields)%2 != 0 {
 			return nil, fmt.Errorf("benchjson: truncated benchmark line %q", line)
 		}
-		res := Result{Pkg: pkg, Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		s := benchLine{pkg: pkg, name: fields[0], iters: iters, metrics: map[string]float64{}}
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
 				return nil, fmt.Errorf("benchjson: bad metric value %q in %q", fields[i], line)
 			}
-			res.Metrics[fields[i+1]] = v
+			s.metrics[fields[i+1]] = v
 		}
-		results = append(results, res)
+		samples = append(samples, s)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	if len(results) == 0 {
+	if len(samples) == 0 {
 		return nil, fmt.Errorf("benchjson: no benchmark results in input")
 	}
-	return results, nil
+	return aggregate(samples), nil
+}
+
+// aggregate folds repeated samples of one (pkg, name) into a single
+// distribution Result, preserving first-appearance order. Iterations
+// accumulate across samples; each metric keeps its mean and 95% CI
+// over the samples that reported it.
+func aggregate(samples []benchLine) []Result {
+	type group struct {
+		first   int
+		iters   int64
+		count   int64
+		metrics map[string][]float64
+	}
+	index := map[string]*group{}
+	var order []*group
+	for _, s := range samples {
+		key := s.pkg + " " + s.name
+		g, ok := index[key]
+		if !ok {
+			g = &group{first: len(order), metrics: map[string][]float64{}}
+			index[key] = g
+			order = append(order, g)
+		}
+		g.iters += s.iters
+		g.count++
+		for unit, v := range s.metrics {
+			g.metrics[unit] = append(g.metrics[unit], v)
+		}
+	}
+	results := make([]Result, len(order))
+	for _, s := range samples {
+		key := s.pkg + " " + s.name
+		g := index[key]
+		if results[g.first].Metrics != nil {
+			continue
+		}
+		res := Result{Pkg: s.pkg, Name: s.name, Iterations: g.iters, Count: g.count,
+			Metrics: map[string]float64{}}
+		for unit, xs := range g.metrics {
+			mean, ci := meanCI(xs)
+			res.Metrics[unit] = mean
+			if ci > 0 {
+				if res.CI == nil {
+					res.CI = map[string]float64{}
+				}
+				res.CI[unit] = ci
+			}
+		}
+		results[g.first] = res
+	}
+	return results
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -151,6 +152,88 @@ func TestDeltaFailAboveGate(t *testing.T) {
 	// ...and stays quiet below the threshold.
 	if err := run([]string{"-delta", "-fail-above", "2.0", old, slow}, &bytes.Buffer{}); err != nil {
 		t.Fatalf("gate tripped below threshold: %v", err)
+	}
+}
+
+func TestParseAggregatesRepeatedSamples(t *testing.T) {
+	// `go test -count=3` repeats each benchmark name; the trajectory
+	// must hold one entry with the mean and a t-based 95% interval.
+	in := `pkg: edcache
+BenchmarkA 10 100 ns/op 5.0 MB/s
+BenchmarkA 12 110 ns/op 7.0 MB/s
+BenchmarkA 11 120 ns/op 6.0 MB/s
+BenchmarkB 1 50 ns/op
+`
+	results, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2 aggregated", len(results))
+	}
+	a := results[0]
+	if a.Name != "BenchmarkA" || a.Count != 3 || a.Iterations != 33 {
+		t.Fatalf("aggregate = %+v", a)
+	}
+	if a.Metrics["ns/op"] != 110 || a.Metrics["MB/s"] != 6 {
+		t.Fatalf("means = %+v", a.Metrics)
+	}
+	// s = 10 over 3 samples, t(2) = 4.303: half-interval 4.303*10/sqrt(3).
+	want := 4.303 * 10 / math.Sqrt(3)
+	if ci := a.CI["ns/op"]; math.Abs(ci-want) > 1e-9 {
+		t.Fatalf("ns/op CI = %g, want %g", ci, want)
+	}
+	b := results[1]
+	if b.Count != 1 || b.CI != nil {
+		t.Fatalf("single sample got an interval: %+v", b)
+	}
+}
+
+func TestMeanCIZeroVariance(t *testing.T) {
+	mean, ci := meanCI([]float64{42, 42, 42, 42})
+	if mean != 42 || ci != 0 {
+		t.Fatalf("meanCI = %g ± %g, want 42 ± 0", mean, ci)
+	}
+}
+
+func TestDeltaGateUsesIntervals(t *testing.T) {
+	dir := t.TempDir()
+	// Old mean 100±30, new mean 140±30: the ratio point is 1.40 but the
+	// intervals overlap the 1.10 gate — (140-30)/(100+30) ≈ 0.85 — so a
+	// noisy rerun must not trip it.
+	old := writeTrajectory(t, dir, "old.json", []Result{
+		{Name: "BenchmarkA", Iterations: 5, Count: 5,
+			Metrics: map[string]float64{"ns/op": 100}, CI: map[string]float64{"ns/op": 30}},
+	})
+	noisy := writeTrajectory(t, dir, "noisy.json", []Result{
+		{Name: "BenchmarkA", Iterations: 5, Count: 5,
+			Metrics: map[string]float64{"ns/op": 140}, CI: map[string]float64{"ns/op": 30}},
+	})
+	if err := run([]string{"-delta", "-fail-above", "1.10", old, noisy}, &bytes.Buffer{}); err != nil {
+		t.Fatalf("gate tripped inside the noise interval: %v", err)
+	}
+	// A tight distribution at the same means is a real regression.
+	tightOld := writeTrajectory(t, dir, "tight_old.json", []Result{
+		{Name: "BenchmarkA", Iterations: 5, Count: 5,
+			Metrics: map[string]float64{"ns/op": 100}, CI: map[string]float64{"ns/op": 2}},
+	})
+	tightNew := writeTrajectory(t, dir, "tight_new.json", []Result{
+		{Name: "BenchmarkA", Iterations: 5, Count: 5,
+			Metrics: map[string]float64{"ns/op": 140}, CI: map[string]float64{"ns/op": 2}},
+	})
+	err := run([]string{"-delta", "-fail-above", "1.10", tightOld, tightNew}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "above the 1.100x gate") {
+		t.Fatalf("confident regression not gated: %v", err)
+	}
+	// Pre-distribution archives (no count/ci fields) degrade to the
+	// plain ratio comparison — TestDeltaFailAboveGate covers the trip;
+	// here the interval rendering must not leak into their table.
+	var out bytes.Buffer
+	if err := run([]string{"-delta", old, noisy}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "100±30") || !strings.Contains(out.String(), "1.400x") {
+		t.Fatalf("delta table lost the distribution rendering:\n%s", out.String())
 	}
 }
 

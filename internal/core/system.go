@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"edcache/internal/bench"
 	"edcache/internal/bitcell"
@@ -250,6 +251,27 @@ type portPhase struct {
 	portCounters
 }
 
+// runScratch is the batched-replay conversion scratch of one port: the
+// op list handed to the simulator and the Result slice the tally
+// consumes, sized to the largest chunk seen. Scratch is pooled across
+// runs (and therefore across sweep grid points — the per-goroutine
+// steady state of a sweep reuses one scratch set per pool slot instead
+// of reallocating ~48 KB per replay).
+type runScratch struct {
+	ops []cache.Op
+	res []cache.Result
+}
+
+var scratchPool = sync.Pool{New: func() any { return &runScratch{} }}
+
+// grow ensures capacity for an n-op chunk.
+func (s *runScratch) grow(n int) {
+	if cap(s.ops) < n {
+		s.ops = make([]cache.Op, n)
+		s.res = make([]cache.Result, n)
+	}
+}
+
 // port adapts one cache instance to the cpu.Port interface and tallies
 // the event counts the energy accounting needs.
 type port struct {
@@ -265,11 +287,17 @@ type port struct {
 	mark portCounters
 	segs []portPhase
 
-	// Scratch for AccessBatch: the op list handed to the simulator and
-	// the Result slice the tally consumes, sized to the largest chunk
-	// seen (one allocation per run in practice).
-	ops []cache.Op
-	res []cache.Result
+	scr *runScratch
+}
+
+// release returns the port's scratch to the pool. The port must not be
+// accessed afterwards; run entry points call it once the Report is
+// assembled (the report copies everything it needs).
+func (p *port) release() {
+	if p.scr != nil {
+		scratchPool.Put(p.scr)
+		p.scr = nil
+	}
 }
 
 // tally folds one access outcome into the port's event counters and
@@ -329,11 +357,8 @@ func (p *port) Access(addr uint32, write bool) bool {
 // per-op outcomes).
 func (p *port) AccessBatch(ops []cpu.PortOp, miss []bool) {
 	n := len(ops)
-	if cap(p.ops) < n {
-		p.ops = make([]cache.Op, n)
-		p.res = make([]cache.Result, n)
-	}
-	co, cr := p.ops[:n], p.res[:n]
+	p.scr.grow(n)
+	co, cr := p.scr.ops[:n], p.scr.res[:n]
 	for i, op := range ops {
 		co[i] = cache.Op{Addr: op.Addr, Write: op.Write}
 	}
@@ -392,7 +417,15 @@ func (p *port) phase(id uint8) portCounters {
 	return portCounters{}
 }
 
-func (s *System) newPort(m Mode, dside bool) *port {
+// newSim builds one fresh cache simulator with the configuration's
+// geometry and the mode's way gating applied: ULE mode disables the HP
+// ways, HP mode optionally gates the ULE ways (ablation A5). This is
+// the entire mode- and design-dependence of the cache *state* — the
+// EDC latency and energy models live outside the simulator — which is
+// what lets the group runner share one simulator between configurations
+// whose geometry and gating coincide (baseline vs proposed at the same
+// mode, in particular).
+func (s *System) newSim(m Mode) *cache.Cache {
 	sim := cache.MustNew(cache.Config{Sets: s.cfg.Sets, Ways: s.cfg.Ways, LineBytes: s.cfg.LineBytes})
 	if m == ModeULE {
 		for w := 0; w < s.cfg.Ways-s.cfg.ULEWays; w++ {
@@ -403,11 +436,19 @@ func (s *System) newPort(m Mode, dside bool) *port {
 			sim.SetWayEnabled(w, false)
 		}
 	}
+	return sim
+}
+
+func (s *System) newPort(m Mode, dside bool) *port {
 	extra := 0
 	if dside {
 		extra = s.ExtraHitLatency(m)
 	}
-	return &port{sim: sim, extra: extra, hpWays: s.cfg.Ways - s.cfg.ULEWays}
+	return &port{
+		sim: s.newSim(m), extra: extra,
+		hpWays: s.cfg.Ways - s.cfg.ULEWays,
+		scr:    scratchPool.Get().(*runScratch),
+	}
 }
 
 // Breakdown is the per-instruction energy decomposition of Figures 3/4.
@@ -462,10 +503,19 @@ func (s *System) Run(w bench.Workload, m Mode) (Report, error) {
 func (s *System) RunStream(name string, stream trace.Stream, m Mode) (Report, error) {
 	il1 := s.newPort(m, false)
 	dl1 := s.newPort(m, true)
+	defer il1.release()
+	defer dl1.release()
 	stats, err := cpu.Run(cpu.Config{MemLatency: s.cfg.MemLatency}, il1, dl1, stream)
 	if err != nil {
 		return Report{}, err
 	}
+	return s.assemble(name, m, stats, il1, dl1)
+}
+
+// assemble turns one run's Stats and tallied ports into a Report: the
+// shared accounting tail of RunStream and the group runner. The ports
+// are consumed — their trailing phase segments are folded in here.
+func (s *System) assemble(name string, m Mode, stats cpu.Stats, il1, dl1 *port) (Report, error) {
 	if stats.Instructions == 0 {
 		return Report{}, fmt.Errorf("core: empty instruction stream %q", name)
 	}

@@ -367,6 +367,81 @@ func countTrue(m []bool) uint64 {
 	return n
 }
 
+// chunkMix is one chunk's instruction-mix tally: the classification
+// output that is identical for every cache configuration replaying the
+// chunk, which is what lets the multi-configuration path (RunMulti)
+// classify once and fan only the cache accesses out per member.
+type chunkMix struct {
+	loads, stores, branches, taken uint64
+}
+
+// classify performs the one walk over a chunk's instructions that both
+// replay paths share: it fills iops (one fetch per instruction),
+// appends the data accesses in program order to dops with their use
+// distances alongside in udist, and tallies the instruction mix. iops
+// must have length len(insts); dops and udist are returned re-sliced
+// (append semantics) so callers can reuse their backing arrays.
+func classify(insts []trace.Inst, iops []PortOp, dops []PortOp, udist []uint8) ([]PortOp, []uint8, chunkMix) {
+	var mix chunkMix
+	for i := range insts {
+		inst := &insts[i]
+		iops[i] = PortOp{Addr: inst.PC}
+		if inst.IsLoad {
+			mix.loads++
+			dops = append(dops, PortOp{Addr: inst.Addr})
+			udist = append(udist, inst.UseDist)
+		} else if inst.IsStore {
+			mix.stores++
+			dops = append(dops, PortOp{Addr: inst.Addr, Write: true})
+			udist = append(udist, 0)
+		} else if inst.IsBranch {
+			mix.branches++
+			if inst.Taken {
+				mix.taken++
+			}
+		}
+	}
+	return dops, udist, mix
+}
+
+// loadUseStalls tallies the chunk's load-to-use stall cycles for one
+// EDC-stage latency: for every load that hit (dmiss false) with a
+// consumer UseDist away, the consumer sees the value after 1+dExtra
+// cycles and hides UseDist of them. Callers skip the call entirely when
+// dExtra is zero — the baseline single-cycle hit never stalls.
+func loadUseStalls(dExtra int, udist []uint8, dmiss []bool) uint64 {
+	var stalls uint64
+	for d, ud := range udist {
+		if ud > 0 && !dmiss[d] {
+			if stall := 1 + dExtra - int(ud); stall > 0 {
+				stalls += uint64(stall)
+			}
+		}
+	}
+	return stalls
+}
+
+// foldChunk accumulates one chunk's outcome into st: n issue slots,
+// the shared mix tally, and the member-specific miss counts and
+// load-use stalls. Every term is a commutative sum, and the phase
+// ledger only snapshots Stats between chunks, so chunk-granular
+// folding is invisible to the per-phase segmentation.
+func foldChunk(st *Stats, n int, mix chunkMix, mem, imisses, dmisses, loadUse uint64) {
+	missCycles := mem * (imisses + dmisses)
+	st.Instructions += uint64(n)
+	st.Cycles += uint64(n) + missCycles + loadUse // issue slots + stalls
+	st.IAccesses += uint64(n)
+	st.IMisses += imisses
+	st.Loads += mix.loads
+	st.Stores += mix.stores
+	st.Branches += mix.branches
+	st.TakenBranches += mix.taken
+	st.DAccesses += mix.loads + mix.stores
+	st.DMisses += dmisses
+	st.LoadUseStalls += loadUse
+	st.MissCycles += missCycles
+}
+
 // process performs all instruction fetches of the slice as one IL1
 // batch and all data accesses (in program order) as one DL1 batch. One
 // classifying pass builds both op lists and the mix counters; the
@@ -374,34 +449,11 @@ func countTrue(m []bool) uint64 {
 // a branch-free count over each outcome slice (every miss costs the
 // same latency regardless of which instruction missed), and load-use
 // stalls read the per-op use distances recorded alongside the data ops,
-// only when the EDC stage is active. Counters accumulate in locals and
-// fold into Stats once per chunk: every term is a commutative sum, and
-// the phase ledger only snapshots Stats between process calls, so
-// chunk-granular flushing is invisible to the per-phase segmentation.
+// only when the EDC stage is active.
 func (b *batcher) process(insts []trace.Inst) {
 	n := len(insts)
 	iops := b.iops[:n]
-	dops := b.dops[:0]
-	udist := b.udist[:0]
-	var loads, stores, branches, taken uint64
-	for i := range insts {
-		inst := &insts[i]
-		iops[i] = PortOp{Addr: inst.PC}
-		if inst.IsLoad {
-			loads++
-			dops = append(dops, PortOp{Addr: inst.Addr})
-			udist = append(udist, inst.UseDist)
-		} else if inst.IsStore {
-			stores++
-			dops = append(dops, PortOp{Addr: inst.Addr, Write: true})
-			udist = append(udist, 0)
-		} else if inst.IsBranch {
-			branches++
-			if inst.Taken {
-				taken++
-			}
-		}
-	}
+	dops, udist, mix := classify(insts, iops, b.dops[:0], b.udist[:0])
 	b.dops, b.udist = dops, udist
 	b.il1.AccessBatch(iops, b.imiss[:n])
 	b.dl1.AccessBatch(dops, b.dmiss[:len(dops)])
@@ -409,31 +461,10 @@ func (b *batcher) process(insts []trace.Inst) {
 	imisses := countTrue(b.imiss[:n])
 	dmisses := countTrue(b.dmiss[:len(dops)])
 	var loadUse uint64
-	if dExtra := b.dExtra; dExtra > 0 {
-		dmiss := b.dmiss
-		for d, ud := range udist {
-			if ud > 0 && !dmiss[d] {
-				if stall := 1 + dExtra - int(ud); stall > 0 {
-					loadUse += uint64(stall)
-				}
-			}
-		}
+	if b.dExtra > 0 {
+		loadUse = loadUseStalls(b.dExtra, udist, b.dmiss)
 	}
-
-	st := &b.st
-	missCycles := b.mem * (imisses + dmisses)
-	st.Instructions += uint64(n)
-	st.Cycles += uint64(n) + missCycles + loadUse // issue slots + stalls
-	st.IAccesses += uint64(n)
-	st.IMisses += imisses
-	st.Loads += loads
-	st.Stores += stores
-	st.Branches += branches
-	st.TakenBranches += taken
-	st.DAccesses += loads + stores
-	st.DMisses += dmisses
-	st.LoadUseStalls += loadUse
-	st.MissCycles += missCycles
+	foldChunk(&b.st, n, mix, b.mem, imisses, dmisses, loadUse)
 }
 
 // runBatched is the chunked fast path of Run. For phase-annotated

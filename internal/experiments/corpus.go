@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strconv"
+	"sync"
 
 	"edcache/internal/bench"
 	"edcache/internal/cache"
@@ -18,16 +19,20 @@ import (
 // conflict adversary) — across both scenarios and both operating
 // modes: EPI for baseline and proposed, miss rates, and the ULE-mode
 // slowdown from the EDC pipeline stage. The grid fans out on the
-// engine with decode-once replay: every workload is generated once
-// into a shared arena and each of its grid points replays a cursor, so
-// generation cost no longer scales with the grid (the workers-
-// invariant determinism contract is untouched — a cursor replays the
-// exact generator sequence). Options.TraceFiles adds captured trace
-// files as further grid points, completing the capture-then-sweep loop
-// on the engine.
+// engine with single-pass grouped replay on top of decode-once arenas:
+// every workload is generated once into a shared slab, and the four
+// design×mode points of one (scenario, workload) replay it as ONE
+// core.RunGroupArena pass — one cursor walk, one classification, and
+// (designs sharing cache state at equal mode) two cache simulations
+// per side where the grid has four evaluation points. Each grid task
+// keeps its own row; it just reads its mode's pair out of the shared
+// group, so grid shape, metrics and the workers-invariance contract
+// are untouched — grouped replay is bit-identical to per-point replay.
+// Options.TraceFiles adds captured trace files as further grid points,
+// completing the capture-then-sweep loop on the engine.
 func corpusExperiment(o Options) sim.Experiment {
 	o = o.withDefaults()
-	systems := newSharedSystems()
+	groups := newPairGroups(o, newSharedSystems())
 	return sim.Def{
 		ExpName: "corpus",
 		Desc:    "corpus-wide sweep — EPI, miss rates and ULE slowdown for every registered workload (and any -trace file), both scenarios and modes",
@@ -64,23 +69,11 @@ func corpusExperiment(o Options) sim.Experiment {
 			if err != nil {
 				return sim.Result{}, err
 			}
-			name, arena, err := o.taskArena(t)
+			p, err := groups.pair(groupKey{scenario: s, workload: t.Params["workload"], trace: t.Params["trace"]}, m)
 			if err != nil {
 				return sim.Result{}, err
 			}
-			base, prop, err := systems.get(s)
-			if err != nil {
-				return sim.Result{}, err
-			}
-			rb, err := base.RunArena(name, arena, m)
-			if err != nil {
-				return sim.Result{}, err
-			}
-			rp, err := prop.RunArena(name, arena, m)
-			if err != nil {
-				return sim.Result{}, err
-			}
-			p := core.Pair{Workload: name, Base: rb, Prop: rp}
+			rb, rp := p.Base, p.Prop
 			ms := []sim.Metric{
 				sim.NumU("base_epi", rb.EPI.Total(), "pJ/i"),
 				sim.NumU("prop_epi", rp.EPI.Total(), "pJ/i"),
@@ -150,21 +143,54 @@ func calibratedByName(name string, instructions int) (bench.Workload, error) {
 	return bench.Workload{}, fmt.Errorf("experiments: unknown calibrated workload %q", name)
 }
 
+// profileKey identifies one corpus-miss replay source: the stream
+// whose single stack-distance profile serves the whole capacity axis.
+type profileKey struct {
+	workload string
+	trace    string
+	suite    string // "calibrated" resolves through calibratedByName
+}
+
 // corpusMissExperiment characterises every corpus workload's data-side
-// locality on the raw cache simulator: DL1 miss rate as capacity grows
-// from the 1 KB ULE way to the full 8 KB cache (ways 1, 2, 4, 8). The
-// sweep separates capacity misses (vanish with ways) from the
-// adversary's conflict misses (they never do) and runs on the batched
-// cache entry point over shared decode-once arenas — no energy model
-// and no regeneration, so the full grid is cheap. Alongside the
-// registered corpus it sweeps bench.CalibratedCorpus: stencil and
-// pointer-chase instances footprint-sized at fit/2×/8× of the swept
-// geometry by bench.CalibrateFootprint, so the capacity axis carries
-// points that track the cache configuration instead of hand-picked
-// byte counts. Options.TraceFiles adds captured trace files too.
+// locality: DL1 miss rate as capacity grows from the 1 KB ULE way to
+// the full 8 KB cache (ways 1, 2, 4, 8). The sweep separates capacity
+// misses (vanish with ways) from the adversary's conflict misses (they
+// never do). The capacity axis runs on Mattson-style single-pass
+// profiling: per source, ONE cache.StackProfile pass over the shared
+// decode-once arena replaces the per-associativity replays — each
+// ways-k grid point is then an O(histogram) readout, bit-identical to
+// replaying a k-way cache (the LRU inclusion property, pinned by the
+// profiler's property test and this package's replay cross-check).
+// Alongside the registered corpus it sweeps bench.CalibratedCorpus:
+// stencil and pointer-chase instances footprint-sized at fit/2×/8× of
+// the swept geometry by bench.CalibrateFootprint, so the capacity axis
+// carries points that track the cache configuration instead of
+// hand-picked byte counts. Options.TraceFiles adds captured trace
+// files too.
 func corpusMissExperiment(o Options) sim.Experiment {
 	o = o.withDefaults()
 	ways := []int{1, 2, 4, 8}
+	profiles := sim.NewShared(func(k profileKey) (*cache.StackProfile, error) {
+		var arena *trace.Arena
+		var err error
+		switch {
+		case k.suite == "calibrated":
+			var w bench.Workload
+			if w, err = calibratedByName(k.workload, o.Instructions); err == nil {
+				arena = o.arenas.Get(w)
+			}
+		case k.trace != "":
+			arena, err = o.fileArenas.Get(k.trace)
+		default:
+			_, arena, err = o.workloadArena(k.workload)
+		}
+		if err != nil {
+			return nil, err
+		}
+		p := cache.MustNewStackProfile(corpusMissGeometry)
+		ProfileDataRefs(arena.Cursor(), p)
+		return p, nil
+	})
 	return sim.Def{
 		ExpName: "corpus-miss",
 		Desc:    "corpus locality sweep — DL1 miss rate vs cache capacity (1-8 ways) for every registered workload, geometry-calibrated footprints (and any -trace file)",
@@ -205,29 +231,24 @@ func corpusMissExperiment(o Options) sim.Experiment {
 			if err != nil {
 				return sim.Result{}, err
 			}
-			var name string
-			var arena *trace.Arena
-			if t.Params["suite"] == "calibrated" {
-				w, err := calibratedByName(t.Params["workload"], o.Instructions)
-				if err != nil {
-					return sim.Result{}, err
-				}
-				name, arena = w.Name, o.arenas.Get(w)
-			} else if name, arena, err = o.taskArena(t); err != nil {
-				return sim.Result{}, err
-			}
-			geom := corpusMissGeometry
-			geom.Ways = k
-			dl1, err := cache.New(geom)
+			// One profile pass per source serves every ways-k task; the
+			// post-build reads (Refs, Misses) are read-only and safe for
+			// the concurrent tasks sharing it.
+			prof, err := profiles.Get(profileKey{
+				workload: t.Params["workload"], trace: t.Params["trace"], suite: t.Params["suite"],
+			})
 			if err != nil {
 				return sim.Result{}, err
 			}
-			refs, misses := ReplayDataRefs(arena.Cursor(), dl1)
+			refs := prof.Refs()
 			if refs == 0 {
-				return sim.Result{}, fmt.Errorf("experiments: %s produced no memory references", name)
+				return sim.Result{}, fmt.Errorf("experiments: %s produced no memory references", t.Params["workload"])
 			}
+			misses := prof.Misses(k)
+			geom := corpusMissGeometry
+			geom.Ways = k
 			return sim.Result{Metrics: []sim.Metric{
-				sim.NumU("capacity", float64(dl1.Config().SizeBytes()), "B"),
+				sim.NumU("capacity", float64(geom.SizeBytes()), "B"),
 				sim.Num("refs", float64(refs)),
 				sim.Fmt("miss_rate", 100*float64(misses)/float64(refs), "%.3f%%"),
 			}}, nil
@@ -235,32 +256,75 @@ func corpusMissExperiment(o Options) sim.Experiment {
 	}
 }
 
-// ReplayDataRefs streams a workload's loads and stores through one
-// cache via the batched entry point and counts misses. It is the
-// corpus-miss replay loop; the root benchmark harness reuses it so
-// BenchmarkCorpusSweep measures exactly the loop the experiment runs.
-func ReplayDataRefs(s trace.Stream, c *cache.Cache) (refs, misses int) {
-	const chunk = 4096
-	insts := make([]trace.Inst, chunk)
-	ops := make([]cache.Op, 0, chunk)
-	res := make([]cache.Result, chunk)
+// replayChunk is the instruction granularity of the data-reference
+// replay loops below.
+const replayChunk = 4096
+
+// replayScratch is one replay loop's buffer set, pooled so the sweep's
+// steady state (thousands of grid points across worker goroutines)
+// reuses a few scratch sets instead of allocating ~170 KB per point.
+type replayScratch struct {
+	insts []trace.Inst
+	ops   []cache.Op
+	res   []cache.Result
+}
+
+var replayPool = sync.Pool{New: func() any {
+	return &replayScratch{
+		insts: make([]trace.Inst, replayChunk),
+		ops:   make([]cache.Op, 0, replayChunk),
+		res:   make([]cache.Result, replayChunk),
+	}
+}}
+
+// dataRefChunks drains the stream, extracting loads and stores in
+// program order into pooled chunks and handing each op chunk to sink.
+// It is the shared walk of ReplayDataRefs and ProfileDataRefs.
+func dataRefChunks(s trace.Stream, sink func(ops []cache.Op)) (refs int) {
+	scr := replayPool.Get().(*replayScratch)
+	defer replayPool.Put(scr)
 	for {
-		n := trace.Fill(s, insts)
+		n := trace.Fill(s, scr.insts)
 		if n == 0 {
-			return refs, misses
+			return refs
 		}
-		ops = ops[:0]
+		ops := scr.ops[:0]
 		for i := 0; i < n; i++ {
-			if insts[i].IsLoad || insts[i].IsStore {
-				ops = append(ops, cache.Op{Addr: insts[i].Addr, Write: insts[i].IsStore})
+			if scr.insts[i].IsLoad || scr.insts[i].IsStore {
+				ops = append(ops, cache.Op{Addr: scr.insts[i].Addr, Write: scr.insts[i].IsStore})
 			}
 		}
-		c.AccessBatch(ops, res[:len(ops)])
+		sink(ops)
 		refs += len(ops)
+	}
+}
+
+// ReplayDataRefs streams a workload's loads and stores through one
+// cache via the batched entry point and counts misses. It is the
+// per-geometry replay loop the capacity axis used grid-point by grid
+// point (and the oracle its profiled replacement is tested against);
+// the root benchmark harness reuses it so BenchmarkCorpusSweep
+// measures exactly this loop.
+func ReplayDataRefs(s trace.Stream, c *cache.Cache) (refs, misses int) {
+	scr := replayPool.Get().(*replayScratch)
+	res := scr.res
+	refs = dataRefChunks(s, func(ops []cache.Op) {
+		c.AccessBatch(ops, res[:len(ops)])
 		for i := range ops {
 			if !res[i].Hit {
 				misses++
 			}
 		}
-	}
+	})
+	replayPool.Put(scr)
+	return refs, misses
+}
+
+// ProfileDataRefs streams a workload's loads and stores through a
+// stack-distance profiler: the single pass that replaces the capacity
+// axis's per-associativity ReplayDataRefs replays. Returns the
+// reference count (equal to what any ReplayDataRefs over the same
+// stream reports).
+func ProfileDataRefs(s trace.Stream, p *cache.StackProfile) (refs int) {
+	return dataRefChunks(s, p.AccessBatch)
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"edcache/internal/bench"
+	"edcache/internal/cache"
 	"edcache/internal/sim"
 )
 
@@ -88,6 +89,36 @@ func TestPhaseEPISweep(t *testing.T) {
 		}
 		if r.Detail == "" {
 			t.Errorf("%s: missing per-phase detail table", r.Task.Label)
+		}
+	}
+}
+
+// TestCorpusMissProfileBitIdenticalToReplay is the capacity axis's
+// replacement oracle: the single stack-distance profile pass a source
+// now gets must report, for every associativity on the axis, exactly
+// the reference and miss counts the retired per-geometry ReplayDataRefs
+// loop measured — not approximately, bit for bit.
+func TestCorpusMissProfileBitIdenticalToReplay(t *testing.T) {
+	arenas := bench.NewArenaCache()
+	for _, name := range []string{"adpcm_c", "ptrchase_l", "adversarial_l1", "stencil_dsp"} {
+		w, err := bench.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w = w.ScaledTo(30_000)
+		arena := arenas.Get(w)
+		prof := cache.MustNewStackProfile(corpusMissGeometry)
+		profRefs := ProfileDataRefs(arena.Cursor(), prof)
+		for k := 1; k <= corpusMissGeometry.Ways; k++ {
+			geom := corpusMissGeometry
+			geom.Ways = k
+			refs, misses := ReplayDataRefs(arena.Cursor(), cache.MustNew(geom))
+			if profRefs != refs {
+				t.Fatalf("%s: profile saw %d refs, replay saw %d", name, profRefs, refs)
+			}
+			if got := prof.Misses(k); got != uint64(misses) {
+				t.Errorf("%s ways=%d: profile misses %d, replay misses %d", name, k, got, misses)
+			}
 		}
 	}
 }

@@ -143,7 +143,8 @@ func (c *sharedSystems) get(s yield.Scenario) (base, prop *core.System, err erro
 }
 
 // runPairTask evaluates one (scenario, workload) bar pair — replaying
-// the workload's shared decode-once slab on both designs — and
+// the workload's shared decode-once slab on both designs as one
+// two-member group (a single slab walk and classification) — and
 // attaches the Pair as the result payload for the Finish aggregation.
 func runPairTask(t sim.Task, m core.Mode, o Options, systems *sharedSystems) (sim.Result, core.Pair, error) {
 	s, err := taskScenario(t)
@@ -158,15 +159,13 @@ func runPairTask(t sim.Task, m core.Mode, o Options, systems *sharedSystems) (si
 	if err != nil {
 		return sim.Result{}, core.Pair{}, err
 	}
-	rb, err := base.RunArena(w.Name, arena, m)
+	reps, err := core.RunGroupArena(w.Name, arena, []core.GroupMember{
+		{Sys: base, Mode: m}, {Sys: prop, Mode: m},
+	})
 	if err != nil {
 		return sim.Result{}, core.Pair{}, err
 	}
-	rp, err := prop.RunArena(w.Name, arena, m)
-	if err != nil {
-		return sim.Result{}, core.Pair{}, err
-	}
-	p := core.Pair{Workload: w.Name, Base: rb, Prop: rp}
+	p := core.Pair{Workload: w.Name, Base: reps[0], Prop: reps[1]}
 	res := sim.Result{Metrics: pairMetrics(p), Data: p}
 	return res, p, nil
 }
@@ -287,7 +286,8 @@ func fig4Experiment(o Options) sim.Experiment {
 
 // headlineExperiment prints the paper-vs-measured summary (E3). Each
 // grid task is one (scenario, mode) point whose workload suite fans out
-// on the inner pool via core.RunPairsN.
+// on the inner pool via core.RunPairsMulti, each workload replaying
+// both designs in a single pass.
 func headlineExperiment(o Options) sim.Experiment {
 	o = o.withDefaults()
 	paper := map[yield.Scenario]map[core.Mode]string{
@@ -318,7 +318,7 @@ func headlineExperiment(o Options) sim.Experiment {
 			if err != nil {
 				return sim.Result{}, err
 			}
-			pairs, err := core.RunPairsArena(s, m, suite(m, o.Instructions), o.arenas, o.Workers)
+			pairs, err := core.RunPairsMulti(s, m, suite(m, o.Instructions), o.arenas, o.Workers)
 			if err != nil {
 				return sim.Result{}, err
 			}
