@@ -43,6 +43,7 @@ func run(args []string, stdout io.Writer) error {
 		instructions = fs.Int("instructions", 300_000, "dynamic instructions per benchmark run")
 		trials       = fs.Int("trials", 2000, "silicon samples per reliability campaign")
 		traceFiles   = fs.String("trace", "", "comma-separated captured .trace files to sweep as file-backed grid points (corpus, corpus-miss, phase-epi)")
+		mapThreshold = fs.Int64("map-threshold", 0, "file size in bytes at which -trace files are mmapped instead of decoded into slabs (0 = 64 MiB default)")
 		list         = fs.Bool("list", false, "list registered experiments and exit")
 	)
 	if err := cli.Parse(fs, args); err != nil {
@@ -61,6 +62,7 @@ func run(args []string, stdout io.Writer) error {
 		Trials:       *trials,
 		Workers:      *workers,
 		TraceFiles:   traces,
+		MapThreshold: *mapThreshold,
 	})
 
 	if *list {

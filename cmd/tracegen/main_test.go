@@ -104,8 +104,11 @@ func TestVerifyReportsPhasePresence(t *testing.T) {
 func TestVerifyWarnsOnUnadvertisedPhaseBytes(t *testing.T) {
 	// A phase-annotated body whose header lost the phase flag must be
 	// called out, not silently replayed as phase 0.
+	// Written without CRC/index so the body stays valid when the flag
+	// word is zeroed (clearing bit 2/3 on a checksummed file would be a
+	// different corruption, caught as such).
 	path := filepath.Join(t.TempDir(), "stray.trace")
-	if err := run([]string{"-workload", "phased_mix", "-phases", "-instructions", "50000", "-o", path}, &bytes.Buffer{}); err != nil {
+	if err := run([]string{"-workload", "phased_mix", "-phases", "-crc=false", "-index=false", "-instructions", "50000", "-o", path}, &bytes.Buffer{}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -127,6 +130,175 @@ func TestVerifyWarnsOnUnadvertisedPhaseBytes(t *testing.T) {
 	// 50k instructions: 40k in phase 0 (byte zero), 10k in phase 1.
 	if !strings.Contains(got, "warning: 10000 records carry a non-zero phase byte") {
 		t.Errorf("verify did not count the unadvertised phase bytes:\n%s", got)
+	}
+}
+
+// TestVerifyReportsIntegrityCoverage pins the distinction -verify must
+// draw: "every chunk checksum verified" versus "structurally well-formed
+// but carrying no integrity data at all". The two used to collapse into
+// one "valid" line.
+func TestVerifyReportsIntegrityCoverage(t *testing.T) {
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		name      string
+		args      []string
+		integrity string
+		index     string
+	}{
+		{"v21-default", nil,
+			"integrity: per-chunk CRC32C",
+			"index: seekable chunk index"},
+		{"v2-bare", []string{"-crc=false", "-index=false"},
+			"integrity: none — structural checks only",
+			"index: none — sequential access only"},
+		{"v2-gzip", []string{"-gzip"},
+			"integrity: gzip stream CRC32",
+			"index: none — sequential access only"},
+		{"v1", []string{"-format", "v1"},
+			"integrity: none — structural checks only",
+			"index: none — sequential access only"},
+		{"v21-crc-only", []string{"-index=false"},
+			"integrity: per-chunk CRC32C",
+			"index: none — sequential access only"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, tc.name+".trace")
+			args := append([]string{"-workload", "adpcm_c", "-instructions", "5000", "-o", path}, tc.args...)
+			if err := run(args, &bytes.Buffer{}); err != nil {
+				t.Fatal(err)
+			}
+			var out bytes.Buffer
+			if err := run([]string{"-verify", path}, &out); err != nil {
+				t.Fatal(err)
+			}
+			got := out.String()
+			if !strings.Contains(got, tc.integrity) {
+				t.Errorf("verify output missing %q:\n%s", tc.integrity, got)
+			}
+			if !strings.Contains(got, tc.index) {
+				t.Errorf("verify output missing %q:\n%s", tc.index, got)
+			}
+		})
+	}
+}
+
+// TestReindexUpgradesLegacyContainers covers the migration path: any
+// pre-v2.1 container (v1 flat, bare v2, gzip v2) rewritten by -reindex
+// must come out as an uncompressed, checksummed, indexed v2 file that
+// replays the identical instruction count.
+func TestReindexUpgradesLegacyContainers(t *testing.T) {
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"v1", []string{"-format", "v1"}},
+		{"v2-bare", []string{"-crc=false", "-index=false"}},
+		{"v2-gzip", []string{"-gzip"}},
+		{"v2-phases", []string{"-workload", "phased_mix", "-phases", "-crc=false", "-index=false"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			src := filepath.Join(dir, tc.name+".trace")
+			args := []string{"-workload", "adpcm_c", "-instructions", "5000", "-o", src}
+			if tc.args[0] == "-workload" {
+				args = append(tc.args, "-instructions", "5000", "-o", src)
+			} else {
+				args = append(args, tc.args...)
+			}
+			if err := run(args, &bytes.Buffer{}); err != nil {
+				t.Fatal(err)
+			}
+			dst := filepath.Join(dir, tc.name+".indexed.trace")
+			var out bytes.Buffer
+			if err := run([]string{"-reindex", src, "-o", dst}, &out); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(out.String(), "reindexed 5000 instructions") {
+				t.Fatalf("unexpected reindex output: %s", out.String())
+			}
+			out.Reset()
+			if err := run([]string{"-verify", dst}, &out); err != nil {
+				t.Fatal(err)
+			}
+			got := out.String()
+			for _, want := range []string{
+				"format v2 (uncompressed)", "5000 instructions",
+				"integrity: per-chunk CRC32C", "index: seekable chunk index",
+			} {
+				if !strings.Contains(got, want) {
+					t.Errorf("reindexed verify output missing %q:\n%s", want, got)
+				}
+			}
+			if tc.name == "v2-phases" && !strings.Contains(got, "phases: present") {
+				t.Errorf("reindex dropped the phase annotations:\n%s", got)
+			}
+		})
+	}
+}
+
+func TestReindexInPlace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.trace")
+	if err := run([]string{"-workload", "adpcm_c", "-instructions", "3000", "-crc=false", "-index=false", "-o", path}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-reindex", path}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-verify", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "integrity: per-chunk CRC32C") || !strings.Contains(got, "index: seekable chunk index") {
+		t.Fatalf("in-place reindex did not upgrade the file:\n%s", got)
+	}
+	if _, err := os.Stat(path + ".reindex.tmp"); !os.IsNotExist(err) {
+		t.Fatal("reindex temp file left behind")
+	}
+}
+
+func TestReindexRejectsCorruptSource(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.trace")
+	if err := run([]string{"-workload", "adpcm_c", "-instructions", "3000", "-o", path}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-9], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dst := path + ".out"
+	if err := run([]string{"-reindex", path, "-o", dst}, &bytes.Buffer{}); err == nil {
+		t.Fatal("reindex accepted a truncated source")
+	}
+	// A failed reindex must not leave a plausible-looking output behind.
+	if _, err := os.Stat(dst); !os.IsNotExist(err) {
+		t.Fatal("failed reindex left an output file")
+	}
+}
+
+func TestExplicitCRCIndexConflicts(t *testing.T) {
+	// Explicit -crc/-index alongside -gzip contradict the format spec and
+	// must error; the defaults are silently dropped instead (covered by
+	// TestVerifyReportsIntegrityCoverage/v2-gzip).
+	if err := run([]string{"-workload", "adpcm_c", "-gzip", "-crc"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-gzip with explicit -crc accepted")
+	}
+	if err := run([]string{"-workload", "adpcm_c", "-gzip", "-index"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-gzip with explicit -index accepted")
+	}
+	if err := run([]string{"-workload", "adpcm_c", "-format", "v1", "-crc"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-format v1 with explicit -crc accepted")
+	}
+	if err := run([]string{"-workload", "adpcm_c", "-format", "v1", "-index"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-format v1 with explicit -index accepted")
+	}
+	// Explicit opt-outs compose fine with -gzip.
+	path := filepath.Join(t.TempDir(), "ok.trace")
+	if err := run([]string{"-workload", "adpcm_c", "-gzip", "-crc=false", "-index=false", "-instructions", "2000", "-o", path}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
 	}
 }
 

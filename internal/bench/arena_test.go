@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"os"
+	"path/filepath"
 	"reflect"
 	"sync"
 	"testing"
@@ -140,6 +142,33 @@ func BenchmarkArenaReplay(b *testing.B) {
 		b.SetBytes(int64(w.Instructions))
 		for i := 0; i < b.N; i++ {
 			replay(b, a.Cursor())
+		}
+	})
+	// The mmap-backed slab replays the validated on-disk records,
+	// decoding each cursor window on read; the gap to "arena" is the
+	// decode-on-read cost the page-cache sharing buys.
+	b.Run("maparena", func(b *testing.B) {
+		path := filepath.Join(b.TempDir(), "gsm_c.trace")
+		f, err := os.Create(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, werr := trace.WriteV2(f, w.Stream(), trace.V2Options{Checksums: true, Index: true})
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			b.Fatal(werr)
+		}
+		a, err := trace.OpenMapArena(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer a.Close()
+		b.ResetTimer()
+		b.SetBytes(int64(w.Instructions))
+		for i := 0; i < b.N; i++ {
+			replay(b, a.NewCursor())
 		}
 	})
 }

@@ -6,20 +6,21 @@ import (
 	"edcache/internal/yield"
 )
 
-// Decode-once replay entry points: a trace.Arena is materialized once
+// Decode-once replay entry points: a trace.Slab — a materialized
+// trace.Arena or an mmap-backed trace.MapArena — is prepared once
 // (from a workload generator or a captured trace file) and every
-// (scenario, mode, design) evaluation replays the shared slab through
-// a cheap cursor instead of regenerating the stream. Replay is
-// bit-identical to the generator-backed path — a cursor produces the
-// same instruction sequence with the same batch/phase capabilities —
-// so Reports, and everything aggregated from them, do not change.
+// (scenario, mode, design) evaluation replays it through a cheap
+// cursor instead of regenerating the stream. Replay is bit-identical
+// to the generator-backed path — a cursor produces the same
+// instruction sequence with the same batch/phase capabilities — so
+// Reports, and everything aggregated from them, do not change.
 
-// RunArena is Run over a materialized slab: the workload was generated
-// (or a trace file decoded) once, and this evaluation replays it
+// RunArena is Run over a prepared slab: the workload was generated (or
+// a trace file decoded/mapped) once, and this evaluation replays it
 // through a fresh cursor. Safe for any number of concurrent calls on
-// one Arena, like Run is for one System.
-func (s *System) RunArena(name string, a *trace.Arena, m Mode) (Report, error) {
-	return s.RunStream(name, a.Cursor(), m)
+// one slab, like Run is for one System.
+func (s *System) RunArena(name string, a trace.Slab, m Mode) (Report, error) {
+	return s.RunStream(name, a.NewCursor(), m)
 }
 
 // RunPairsArena is RunPairsN with decode-once replay: every workload's

@@ -206,10 +206,11 @@ func RunGroup(name string, stream trace.Stream, members []GroupMember) ([]Report
 	return reports, nil
 }
 
-// RunGroupArena is RunGroup over a materialized slab: the group shares
-// one fresh cursor, so an N-member group costs one slab walk total.
-func RunGroupArena(name string, a *trace.Arena, members []GroupMember) ([]Report, error) {
-	return RunGroup(name, a.Cursor(), members)
+// RunGroupArena is RunGroup over a prepared slab (materialized or
+// mmap-backed): the group shares one fresh cursor, so an N-member
+// group costs one slab walk total.
+func RunGroupArena(name string, a trace.Slab, members []GroupMember) ([]Report, error) {
+	return RunGroup(name, a.NewCursor(), members)
 }
 
 // RunPairsMulti is RunPairsArena on the single-pass engine: per

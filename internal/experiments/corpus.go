@@ -171,7 +171,7 @@ func corpusMissExperiment(o Options) sim.Experiment {
 	o = o.withDefaults()
 	ways := []int{1, 2, 4, 8}
 	profiles := sim.NewShared(func(k profileKey) (*cache.StackProfile, error) {
-		var arena *trace.Arena
+		var arena trace.Slab
 		var err error
 		switch {
 		case k.suite == "calibrated":
@@ -188,7 +188,7 @@ func corpusMissExperiment(o Options) sim.Experiment {
 			return nil, err
 		}
 		p := cache.MustNewStackProfile(corpusMissGeometry)
-		ProfileDataRefs(arena.Cursor(), p)
+		ProfileDataRefs(arena.NewCursor(), p)
 		return p, nil
 	})
 	return sim.Def{

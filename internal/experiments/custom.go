@@ -180,11 +180,14 @@ func runHybridStream(sys *core.System, spec HybridSpec) (core.Report, error) {
 			return core.Report{}, err
 		}
 		rep, err := sys.RunStream(spec.TraceFile, r, spec.Mode)
+		// The reader's error is the root cause when both fail: a corrupt
+		// first chunk delivers zero records, and RunStream's "empty
+		// stream" complaint would mask the real corruption report.
+		if rerr := r.Err(); rerr != nil {
+			return core.Report{}, rerr
+		}
 		if err != nil {
 			return core.Report{}, err
-		}
-		if r.Err() != nil {
-			return core.Report{}, r.Err()
 		}
 		return rep, nil
 	}

@@ -42,16 +42,24 @@ type Options struct {
 	// the System capture entry points) to sweep as first-class grid
 	// points alongside the generator corpus: corpus and corpus-miss add
 	// one grid point per (scenario/ways, mode, file), phase-epi one per
-	// file when the file carries phase annotations. Each file is decoded
-	// once into a shared arena and every grid point replays it.
+	// file when the file carries phase annotations. Each file is opened
+	// once as a shared slab and every grid point replays it.
 	TraceFiles []string
 
+	// MapThreshold is the file size (bytes) at which trace files are
+	// memory-mapped in place (trace.MapArena) instead of decoded into
+	// materialized slabs; 0 means trace.DefaultMapThreshold. Mapping
+	// replays the validated on-disk records out of the page cache, so
+	// very large traces do not get duplicated on the heap. Replay is
+	// bit-identical either way.
+	MapThreshold int64
+
 	// arenas memoizes materialized workload slabs and fileArenas
-	// decoded trace files, so every experiment registered from one
-	// RegisterAll call generates/decodes each source exactly once per
+	// opened trace files, so every experiment registered from one
+	// RegisterAll call generates/opens each source exactly once per
 	// run. Both are installed by withDefaults and shared through it.
 	arenas     *bench.ArenaCache
-	fileArenas *sim.Shared[string, *trace.Arena]
+	fileArenas *sim.Shared[string, trace.Slab]
 }
 
 func (o Options) withDefaults() Options {
@@ -71,7 +79,10 @@ func (o Options) withDefaults() Options {
 		o.arenas = bench.NewArenaCache()
 	}
 	if o.fileArenas == nil {
-		o.fileArenas = sim.NewShared(trace.LoadArenaFile)
+		threshold := o.MapThreshold
+		o.fileArenas = sim.NewShared(func(path string) (trace.Slab, error) {
+			return trace.OpenSlab(path, threshold)
+		})
 	}
 	return o
 }
@@ -152,10 +163,11 @@ func (o Options) workloadArena(name string) (bench.Workload, *trace.Arena, error
 	return w, o.arenas.Get(w), nil
 }
 
-// taskArena resolves a grid task's replay source: a trace-file arena
-// when the task names one (the "trace" parameter), the workload's
-// shared slab otherwise. The returned name labels reports.
-func (o Options) taskArena(t sim.Task) (string, *trace.Arena, error) {
+// taskArena resolves a grid task's replay source: a trace-file slab
+// (materialized or mmap-backed, per MapThreshold) when the task names
+// one (the "trace" parameter), the workload's shared slab otherwise.
+// The returned name labels reports.
+func (o Options) taskArena(t sim.Task) (string, trace.Slab, error) {
 	if path := t.Params["trace"]; path != "" {
 		a, err := o.fileArenas.Get(path)
 		if err != nil {

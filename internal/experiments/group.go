@@ -46,7 +46,7 @@ func newPairGroups(o Options, systems *sharedSystems) *pairGroups {
 // shared arena, in a single pass.
 func (g *pairGroups) build(k groupKey) (groupReports, error) {
 	var name string
-	var arena *trace.Arena
+	var arena trace.Slab
 	var err error
 	if k.trace != "" {
 		name = k.workload

@@ -4,7 +4,29 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
 )
+
+// Slab is the replay-many contract shared by the materialized Arena
+// and the mmap-backed MapArena: an immutable instruction sequence that
+// hands out any number of independent replay cursors. core.RunArena,
+// core.RunGroupArena and the experiments layer run against Slab, so
+// the two arena kinds are interchangeable behind OpenSlab's size
+// threshold.
+type Slab interface {
+	// Len returns the slab's instruction count.
+	Len() int
+	// HasPhases reports whether the slab carries phase annotations.
+	HasPhases() bool
+	// NewCursor returns a fresh replay over the slab from the first
+	// instruction. Cursors are independent; any number may replay
+	// concurrently. The returned stream implements SliceBatcher (and
+	// therefore BatchStream/Stream semantics via NextSlice) plus
+	// PhaseAnnotated.
+	NewCursor() SliceBatcher
+}
 
 // Arena is an immutable, fully materialized instruction slab: the
 // decode-once half of the decode-once/replay-many workflow. A slab is
@@ -78,18 +100,139 @@ func LoadArena(r io.Reader) (*Arena, error) {
 	return a, nil
 }
 
-// LoadArenaFile is LoadArena over a file path.
+// LoadArenaFile is LoadArena over a file path, with a fast path for
+// indexed containers (v2 stream-flag bit 3): the validated chunk index
+// gives every chunk's file offset and record count, so the slab is
+// sized exactly up front and the chunks are decoded in parallel across
+// a worker pool into disjoint slab ranges. Unindexed files (v1,
+// pre-index v2, gzip) take the sequential streaming decode.
 func LoadArenaFile(path string) (*Arena, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
+	if st, err := f.Stat(); err == nil && st.Mode().IsRegular() {
+		meta, err := readFileMeta(f, st.Size())
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if meta.version == traceVersionV2 && meta.indexed {
+			a, err := loadArenaIndexed(f, meta)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", path, err)
+			}
+			return a, nil
+		}
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+	}
 	a, err := LoadArena(f)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return a, nil
+}
+
+// loadArenaIndexed decodes an indexed v2 container into a slab chunk by
+// chunk across a worker pool. The index (already fully validated by
+// readFileMeta) gives each chunk's slab range via a prefix sum over the
+// entry counts, so workers write disjoint ranges with no
+// synchronisation beyond the work counter; every chunk still gets the
+// full record-level validation (CRC, reserved flag bits, phase range).
+func loadArenaIndexed(f *os.File, meta *fileMeta) (*Arena, error) {
+	insts := make([]Inst, meta.total)
+	starts := make([]int, len(meta.entries)+1)
+	for i, e := range meta.entries {
+		starts[i+1] = starts[i] + e.Count
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(meta.entries) {
+		workers = len(meta.entries)
+	}
+	if workers <= 1 {
+		var raw []byte
+		for i, e := range meta.entries {
+			var err error
+			_, raw, err = meta.decodeChunkAt(f, e, i, insts[starts[i]:starts[i]:starts[i+1]], raw)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &Arena{insts: insts, phased: meta.phases}, nil
+	}
+	var (
+		next     atomic.Int64 // next chunk to claim
+		failed   atomic.Bool  // set once any worker fails, stops the others
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var raw []byte
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(meta.entries) || failed.Load() {
+					return
+				}
+				e := meta.entries[i]
+				var err error
+				_, raw, err = meta.decodeChunkAt(f, e, i, insts[starts[i]:starts[i]:starts[i+1]], raw)
+				if err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return &Arena{insts: insts, phased: meta.phases}, nil
+}
+
+// DefaultMapThreshold is the file size at which OpenSlab switches from
+// materialized slabs (16 B/record of heap) to mmap-backed arenas
+// (12 B/record of page cache, decoded on cursor read): 64 MiB, past
+// which duplicate materialisation starts to matter more than the
+// decode-on-read cost.
+const DefaultMapThreshold = 64 << 20
+
+// OpenSlab opens a trace file as a replayable Slab, choosing the
+// representation by file size: files of mapThreshold bytes or more are
+// memory-mapped in place (MapArena), smaller ones are decoded once
+// into a materialized slab (Arena). Files that cannot be mapped — gzip
+// bodies have no addressable records — fall back to slab loading
+// whatever their size. mapThreshold <= 0 means DefaultMapThreshold;
+// use 1 to force mapping, or math.MaxInt64 to effectively disable it.
+func OpenSlab(path string, mapThreshold int64) (Slab, error) {
+	if mapThreshold <= 0 {
+		mapThreshold = DefaultMapThreshold
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() >= mapThreshold {
+		ma, err := OpenMapArena(path)
+		if err == nil {
+			return ma, nil
+		}
+		if !isUnmappable(err) {
+			return nil, err
+		}
+	}
+	return LoadArenaFile(path)
 }
 
 // Len returns the slab's instruction count.
@@ -107,6 +250,9 @@ func (a *Arena) HasPhases() bool { return a.phased }
 func (a *Arena) Cursor() *Cursor {
 	return &Cursor{insts: a.insts, phased: a.phased}
 }
+
+// NewCursor implements Slab.
+func (a *Arena) NewCursor() SliceBatcher { return a.Cursor() }
 
 // Cursor is one replay position over an Arena's shared slab. The zero
 // value is an empty stream; use Arena.Cursor. A Cursor must not be

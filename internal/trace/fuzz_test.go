@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -16,7 +18,13 @@ func FuzzReader(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(v1.Bytes())
-	for _, o := range []V2Options{{}, {Compress: true}, {ChunkRecords: 2}, {Phases: true}, {Compress: true, Phases: true}} {
+	for _, o := range []V2Options{
+		{}, {Compress: true}, {ChunkRecords: 2}, {Phases: true}, {Compress: true, Phases: true},
+		// v2.1 corpora: checksummed, indexed, and both, plus tiny chunks
+		// so the fuzzer reaches multi-chunk index mutations fast.
+		{Checksums: true}, {Index: true}, {Checksums: true, Index: true},
+		{Phases: true, Checksums: true, Index: true, ChunkRecords: 2},
+	} {
 		var v2 bytes.Buffer
 		if _, err := WriteV2(&v2, &SliceStream{Insts: sampleInsts()}, o); err != nil {
 			f.Fatal(err)
@@ -48,11 +56,19 @@ func FuzzReader(f *testing.F) {
 }
 
 // FuzzRoundTrip derives an instruction stream from the fuzz input and
-// checks that both containers replay it bit-exactly.
+// checks that both containers replay it bit-exactly. Mode bits select
+// the v2 variant: bit 0 gzip, bit 1 phases, bit 2 per-chunk CRC, bit 3
+// chunk index (bits 2/3 are dropped under gzip — the combination is
+// invalid by spec), higher bits the chunk size.
 func FuzzRoundTrip(f *testing.F) {
 	f.Add([]byte{}, uint8(0))
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}, uint8(1))
 	f.Add(bytes.Repeat([]byte{0xA5}, 300), uint8(3))
+	// v2.1 seeds: CRC, index, both, and both with phases + tiny chunks.
+	f.Add(bytes.Repeat([]byte{0x3C}, 64), uint8(4))
+	f.Add(bytes.Repeat([]byte{0x5A}, 64), uint8(8))
+	f.Add(bytes.Repeat([]byte{0x7E}, 200), uint8(12))
+	f.Add(bytes.Repeat([]byte{0x99}, 200), uint8(14|16))
 
 	f.Fuzz(func(t *testing.T, data []byte, mode uint8) {
 		phased := mode&2 != 0
@@ -72,7 +88,14 @@ func FuzzRoundTrip(f *testing.F) {
 			}
 			insts = append(insts, inst)
 		}
-		o := V2Options{Compress: mode&1 != 0, Phases: phased, ChunkRecords: 1 + int(mode>>2)}
+		o := V2Options{
+			Compress: mode&1 != 0, Phases: phased,
+			Checksums: mode&4 != 0, Index: mode&8 != 0,
+			ChunkRecords: 1 + int(mode>>4),
+		}
+		if o.Compress {
+			o.Checksums, o.Index = false, false
+		}
 
 		var v1, v2 bytes.Buffer
 		if _, err := Write(&v1, &SliceStream{Insts: insts}); err != nil {
@@ -111,6 +134,104 @@ func FuzzRoundTrip(f *testing.F) {
 			if r.Err() != nil {
 				t.Fatalf("%s: %v", name, r.Err())
 			}
+		}
+	})
+}
+
+// FuzzIndex aims the fuzzer at the seekable machinery: mutated
+// footer/index bytes (and anything else — seeds are whole indexed
+// files) must never panic the random-access consumers — OpenAtChunk,
+// OpenAtPhase, the parallel indexed arena loader, the mmap arena — and
+// must never make them disagree with the streaming reader: any file
+// the streaming reader accepts, the seekable paths must accept with
+// the identical record sequence.
+func FuzzIndex(f *testing.F) {
+	for _, o := range []V2Options{
+		{Index: true},
+		{Checksums: true, Index: true},
+		{Phases: true, Checksums: true, Index: true, ChunkRecords: 2},
+		{Phases: true, Index: true, ChunkRecords: 3},
+	} {
+		var buf bytes.Buffer
+		if _, err := WriteV2(&buf, &SliceStream{Insts: sampleInsts()}, o); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		var empty bytes.Buffer
+		if _, err := WriteV2(&empty, &SliceStream{}, o); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(empty.Bytes())
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		// The streaming reader is the oracle: its verdict on the mutated
+		// bytes decides what the seekable paths must do.
+		var want []Inst
+		streamOK := false
+		if r, err := NewReader(bytes.NewReader(data)); err == nil {
+			for {
+				inst, ok := r.Next()
+				if !ok {
+					break
+				}
+				want = append(want, inst)
+				if len(want) > 1<<20 {
+					t.Fatalf("runaway reader: %d records from a %d-byte input", len(want), len(data))
+				}
+			}
+			streamOK = r.Err() == nil
+		}
+
+		path := filepath.Join(t.TempDir(), "fuzz.trace")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if a, err := LoadArenaFile(path); err == nil {
+			if !streamOK {
+				t.Fatal("arena loader accepted a file the streaming reader rejects")
+			}
+			if a.Len() != len(want) {
+				t.Fatalf("arena loaded %d records, stream read %d", a.Len(), len(want))
+			}
+		} else if streamOK {
+			t.Fatalf("arena loader rejected a stream-valid file: %v", err)
+		}
+		if ma, err := OpenMapArena(path); err == nil {
+			if !streamOK {
+				t.Fatal("mmap arena accepted a file the streaming reader rejects")
+			}
+			if ma.Len() != len(want) {
+				t.Fatalf("mmap arena mapped %d records, stream read %d", ma.Len(), len(want))
+			}
+			ma.Close()
+		} else if streamOK && !isUnmappable(err) {
+			t.Fatalf("mmap arena rejected a stream-valid file: %v", err)
+		}
+		if c, err := OpenAtChunk(path, 0); err == nil {
+			n := 0
+			for {
+				if _, ok := c.Next(); !ok {
+					break
+				}
+				n++
+				if n > 1<<20 {
+					t.Fatalf("runaway cursor: %d records from a %d-byte input", n, len(data))
+				}
+			}
+			if c.Err() == nil && !streamOK {
+				t.Fatal("seekable cursor replayed a file the streaming reader rejects")
+			}
+			if c.Err() == nil && n != len(want) {
+				t.Fatalf("seekable cursor read %d records, stream read %d", n, len(want))
+			}
+			c.Close()
+		}
+		if c, err := OpenAtPhase(path, 0); err == nil {
+			c.Close()
 		}
 	})
 }

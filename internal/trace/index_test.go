@@ -1,0 +1,107 @@
+package trace_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"edcache/internal/trace"
+)
+
+// Seekable-open tests: OpenAtChunk and OpenAtPhase must replay exactly
+// the suffix the index promises, without the prefix, and refuse files
+// that cannot support it.
+
+func TestOpenAtChunkReplaysSuffix(t *testing.T) {
+	const chunkRecs = 64
+	insts := randomInsts(1000, true, 13) // 15 chunks of 64 + one of 40
+	path := writeTraceFile(t, insts, trace.V2Options{ChunkRecords: chunkRecs, Phases: true, Checksums: true, Index: true})
+	for _, chunk := range []int{0, 1, 7, 15} {
+		c, err := trace.OpenAtChunk(path, chunk)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", chunk, err)
+		}
+		if !c.HasPhases() {
+			t.Errorf("chunk %d: cursor lost the phase bit", chunk)
+		}
+		got := drain(c, chunk%3)
+		if err := c.Err(); err != nil {
+			t.Fatalf("chunk %d: %v", chunk, err)
+		}
+		c.Close()
+		if want := insts[chunk*chunkRecs:]; !reflect.DeepEqual(got, want) {
+			t.Errorf("chunk %d: replayed %d records, want the %d-record suffix", chunk, len(got), len(want))
+		}
+	}
+	if _, err := trace.OpenAtChunk(path, 16); err == nil {
+		t.Error("out-of-range chunk accepted")
+	}
+	if _, err := trace.OpenAtChunk(path, -1); err == nil {
+		t.Error("negative chunk accepted")
+	}
+}
+
+func TestOpenAtPhaseSkipsPrefix(t *testing.T) {
+	// randomInsts(1000, true, …) stamps phases 0..3 in four equal runs,
+	// so each phase starts at a known record index.
+	insts := randomInsts(1000, true, 17)
+	path := writeTraceFile(t, insts, trace.V2Options{ChunkRecords: 64, Phases: true, Checksums: true, Index: true})
+	for phase := uint8(0); phase < 4; phase++ {
+		first := -1
+		for i, inst := range insts {
+			if inst.Phase == phase {
+				first = i
+				break
+			}
+		}
+		if first < 0 {
+			t.Fatalf("phase %d missing from the fixture", phase)
+		}
+		c, err := trace.OpenAtPhase(path, phase)
+		if err != nil {
+			t.Fatalf("phase %d: %v", phase, err)
+		}
+		got := drain(c, int(phase)%3)
+		if err := c.Err(); err != nil {
+			t.Fatalf("phase %d: %v", phase, err)
+		}
+		c.Close()
+		if want := insts[first:]; !reflect.DeepEqual(got, want) {
+			t.Errorf("phase %d: replay does not start at record %d", phase, first)
+		}
+	}
+	if _, err := trace.OpenAtPhase(path, 200); !errors.Is(err, trace.ErrPhaseNotFound) {
+		t.Errorf("absent phase: error %v, want ErrPhaseNotFound", err)
+	}
+}
+
+// TestOpenAtPhaseUnphasedFile pins the degenerate contract: a
+// phase-less file replays entirely as phase 0, so OpenAtPhase(0) is
+// the whole trace and any other id is absent.
+func TestOpenAtPhaseUnphasedFile(t *testing.T) {
+	insts := randomInsts(100, false, 19)
+	path := writeTraceFile(t, insts, trace.V2Options{ChunkRecords: 16, Checksums: true, Index: true})
+	c, err := trace.OpenAtPhase(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(c, 2)
+	c.Close()
+	if !reflect.DeepEqual(got, insts) {
+		t.Error("phase 0 of an unphased file is not the whole trace")
+	}
+	if _, err := trace.OpenAtPhase(path, 1); !errors.Is(err, trace.ErrPhaseNotFound) {
+		t.Errorf("phase 1 of an unphased file: error %v, want ErrPhaseNotFound", err)
+	}
+}
+
+func TestOpenAtRequiresIndex(t *testing.T) {
+	insts := randomInsts(100, false, 23)
+	path := writeTraceFile(t, insts, trace.V2Options{ChunkRecords: 16, Checksums: true})
+	if _, err := trace.OpenAtChunk(path, 0); !errors.Is(err, trace.ErrNoIndex) {
+		t.Errorf("OpenAtChunk on unindexed file: error %v, want ErrNoIndex", err)
+	}
+	if _, err := trace.OpenAtPhase(path, 0); !errors.Is(err, trace.ErrNoIndex) {
+		t.Errorf("OpenAtPhase on unindexed file: error %v, want ErrNoIndex", err)
+	}
+}

@@ -1,0 +1,19 @@
+//go:build !unix
+
+package trace
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile on platforms without syscall.Mmap reads the whole file
+// instead: MapArena keeps its contract (in-place validated records,
+// decode on cursor read) without the page-cache sharing.
+func mapFile(f *os.File, size int64) (data []byte, release func() error, err error) {
+	data = make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

@@ -1,0 +1,26 @@
+//go:build unix
+
+package trace
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only. The returned release func
+// unmaps; data stays valid until it runs. An empty file maps to an
+// empty slice with a no-op release (mmap of length 0 is an error on
+// most kernels, and there is nothing to map).
+func mapFile(f *os.File, size int64) (data []byte, release func() error, err error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	if int64(int(size)) != size {
+		return nil, nil, syscall.EFBIG
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

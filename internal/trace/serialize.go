@@ -76,7 +76,7 @@ func encodeRecord(rec []byte, inst Inst, phases bool) {
 func decodeRecord(rec []byte, phases bool) (Inst, error) {
 	flags := rec[8]
 	if flags&^byte(flagKnown) != 0 {
-		return Inst{}, fmt.Errorf("trace: unknown record flag bits %#02x", flags&^byte(flagKnown))
+		return Inst{}, fmt.Errorf("trace: %w: unknown record flag bits %#02x", ErrRecord, flags&^byte(flagKnown))
 	}
 	inst := Inst{
 		PC:       binary.LittleEndian.Uint32(rec[0:4]),
@@ -165,10 +165,10 @@ func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReader(r)
 	var hdr [8]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("trace: short header: %w", err)
+		return nil, fmt.Errorf("trace: %w: %w: short header: %v", ErrHeader, ErrTruncated, err)
 	}
 	if binary.LittleEndian.Uint32(hdr[0:4]) != traceMagic {
-		return nil, fmt.Errorf("trace: bad magic %#x", binary.LittleEndian.Uint32(hdr[0:4]))
+		return nil, fmt.Errorf("trace: %w: bad magic %#x", ErrHeader, binary.LittleEndian.Uint32(hdr[0:4]))
 	}
 	rd := &Reader{br: br}
 	switch v := binary.LittleEndian.Uint32(hdr[4:8]); v {
@@ -182,7 +182,7 @@ func NewReader(r io.Reader) (*Reader, error) {
 		}
 		rd.v2 = v2
 	default:
-		return nil, fmt.Errorf("trace: unsupported version %d", v)
+		return nil, fmt.Errorf("trace: %w: unsupported version %d", ErrHeader, v)
 	}
 	return rd, nil
 }
@@ -198,6 +198,35 @@ func (r *Reader) Compressed() bool { return r.v2 != nil && r.v2.compressed }
 // advertises per-record phase ids (v2 stream-flag bit 1; always false
 // for v1 and phase-less v2 files).
 func (r *Reader) HasPhases() bool { return r.v2 != nil && r.v2.phases }
+
+// HasChecksums reports whether the file carries per-chunk CRC32C
+// checksums (v2 stream-flag bit 2). Gzip bodies report false here —
+// their integrity comes from the deflate stream's own CRC32.
+func (r *Reader) HasChecksums() bool { return r.v2 != nil && r.v2.checksums }
+
+// HasIndex reports whether the file carries a seekable chunk index (v2
+// stream-flag bit 3). When true, the streaming reader cross-checks the
+// index against the chunks it streamed before declaring the trace
+// clean.
+func (r *Reader) HasIndex() bool { return r.v2 != nil && r.v2.indexed }
+
+// Chunks reports how many chunks have been streamed so far (0 for v1
+// files, the file's chunk total once the stream finishes cleanly).
+func (r *Reader) Chunks() uint64 {
+	if r.v2 == nil {
+		return 0
+	}
+	return r.v2.chunks
+}
+
+// ChunkCap reports the file's declared per-chunk record capacity (0 for
+// v1 files, which are not chunked).
+func (r *Reader) ChunkCap() int {
+	if r.v2 == nil {
+		return 0
+	}
+	return r.v2.chunkCap
+}
 
 // UnadvertisedPhaseBytes counts the records streamed so far whose
 // reserved phase byte was non-zero although the stream does not
@@ -230,14 +259,14 @@ func (r *Reader) nextV1() (Inst, bool) {
 			// The 4-byte trailer: validate the record count so a
 			// truncated file cannot pass silently.
 			if count := binary.LittleEndian.Uint32(rec[0:4]); uint64(count) != r.read {
-				r.err = fmt.Errorf("trace: trailer count %d, streamed %d records (truncated file?)", count, r.read)
+				r.err = fmt.Errorf("trace: %w: trailer count %d, streamed %d records (truncated file?)", ErrTrailer, count, r.read)
 			}
 			return Inst{}, false
 		}
 		if err != io.EOF || n != 0 {
-			r.err = fmt.Errorf("trace: truncated record after %d records", r.read)
+			r.err = fmt.Errorf("trace: %w: truncated record after %d records", ErrTruncated, r.read)
 		} else {
-			r.err = fmt.Errorf("trace: missing trailer after %d records", r.read)
+			r.err = fmt.Errorf("trace: %w: %w: missing trailer after %d records", ErrTrailer, ErrTruncated, r.read)
 		}
 		return Inst{}, false
 	}
