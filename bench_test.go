@@ -423,6 +423,63 @@ func BenchmarkDutyCycle(b *testing.B) {
 	b.ReportMetric(pw, "avg-power-uW")
 }
 
+// BenchmarkHierarchyReplay measures what the second cache level costs
+// the simulator: the same workload replayed single-level, through a
+// private L1+L2 hierarchy, and as two streams contending for one shared
+// L2 (instructions per second over all replayed streams). Each variant
+// also reports its miss-stall share so throughput changes can be read
+// against the timing work the L2 adds.
+func BenchmarkHierarchyReplay(b *testing.B) {
+	l2 := core.L2Config{Sets: 128, Ways: 8, LineBytes: 32, Latency: 6}
+	flat := core.MustNewSystem(core.PaperConfig(yield.ScenarioA, core.Proposed))
+	tiered := core.MustNewSystem(core.PaperConfig(yield.ScenarioA, core.Proposed).WithL2(l2))
+	w, err := bench.ByName("gsm_c")
+	if err != nil {
+		b.Fatal(err)
+	}
+	w2, err := bench.ByName("ptrchase_l")
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, w2 = w.ScaledTo(benchInstructions), w2.ScaledTo(benchInstructions)
+	stallPct := func(rep core.Report) float64 {
+		return 100 * float64(rep.Stats.MissCycles) / float64(rep.Stats.Cycles)
+	}
+	b.Run("l1only", func(b *testing.B) {
+		b.SetBytes(int64(benchInstructions))
+		var rep core.Report
+		for i := 0; i < b.N; i++ {
+			if rep, err = flat.Run(w, core.ModeHP); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(stallPct(rep), "stall-%")
+	})
+	b.Run("l1l2", func(b *testing.B) {
+		b.SetBytes(int64(benchInstructions))
+		var rep core.Report
+		for i := 0; i < b.N; i++ {
+			if rep, err = tiered.Run(w, core.ModeHP); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(stallPct(rep), "stall-%")
+	})
+	b.Run("sharedl2", func(b *testing.B) {
+		b.SetBytes(2 * int64(benchInstructions))
+		var reps []core.Report
+		for i := 0; i < b.N; i++ {
+			reps, err = tiered.RunShared(
+				[]string{w.Name, w2.Name},
+				[]trace.Stream{w.Stream(), w2.Stream()}, core.ModeHP)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric((stallPct(reps[0])+stallPct(reps[1]))/2, "stall-%")
+	})
+}
+
 // BenchmarkInterleavedBurst measures the 4-way interleaved SECDED codec
 // on full-length bursts (ablation A4's fault model).
 func BenchmarkInterleavedBurst(b *testing.B) {

@@ -7,7 +7,7 @@
 //
 //	experiments [-run name,...|all] [-workers N] [-format text|json|csv]
 //	            [-seed S] [-instructions N] [-trials N] [-trace f.trace,...]
-//	            [-list]
+//	            [-l2 SETSxWAYS,...] [-l2lat N] [-list]
 //
 // Experiment names may be unique prefixes ("rel" for "reliability").
 // For a fixed -seed, output is byte-identical for every -workers value.
@@ -44,6 +44,8 @@ func run(args []string, stdout io.Writer) error {
 		trials       = fs.Int("trials", 2000, "silicon samples per reliability campaign")
 		traceFiles   = fs.String("trace", "", "comma-separated captured .trace files to sweep as file-backed grid points (corpus, corpus-miss, phase-epi)")
 		mapThreshold = fs.Int64("map-threshold", 0, "file size in bytes at which -trace files are mmapped instead of decoded into slabs (0 = 64 MiB default)")
+		l2Geoms      = fs.String("l2", "", "comma-separated L2 geometries (SETSxWAYS) swept by hier-epi and shared-l2 (default 128x8,512x8)")
+		l2Lat        = fs.Int("l2lat", 0, "L2 hit latency in cycles for the hierarchy sweeps (0 = default 6)")
 		list         = fs.Bool("list", false, "list registered experiments and exit")
 	)
 	if err := cli.Parse(fs, args); err != nil {
@@ -56,6 +58,13 @@ func run(args []string, stdout io.Writer) error {
 			traces = append(traces, t)
 		}
 	}
+	var geoms []experiments.L2Geometry
+	if *l2Geoms != "" {
+		var err error
+		if geoms, err = experiments.ParseL2Geometries(*l2Geoms); err != nil {
+			return err
+		}
+	}
 	reg := sim.NewRegistry()
 	experiments.RegisterAll(reg, experiments.Options{
 		Instructions: *instructions,
@@ -63,6 +72,8 @@ func run(args []string, stdout io.Writer) error {
 		Workers:      *workers,
 		TraceFiles:   traces,
 		MapThreshold: *mapThreshold,
+		L2Geometries: geoms,
+		L2Latency:    *l2Lat,
 	})
 
 	if *list {

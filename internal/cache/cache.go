@@ -50,9 +50,10 @@ func (c Config) Validate() error {
 // Result describes one access.
 type Result struct {
 	Hit       bool
-	Way       int  // way hit, or way filled on a miss
-	Evicted   bool // a valid line was displaced
-	Writeback bool // the displaced line was dirty (memory write traffic)
+	Way       int    // way hit, or way filled on a miss
+	Evicted   bool   // a valid line was displaced
+	Writeback bool   // the displaced line was dirty (memory write traffic)
+	Victim    uint32 // line address of the displaced line, valid iff Evicted
 }
 
 // Cache is a set-associative cache with per-way gating. A Cache holds
@@ -226,6 +227,12 @@ func (c *Cache) accessSlow(set int, tag uint32, write bool) Result {
 		Evicted:   c.valid[set]&bit != 0,
 		Writeback: c.valid[set]&c.dirty[set]&bit != 0,
 	}
+	if res.Evicted {
+		// Reconstruct the displaced line's address from its tag before
+		// the fill overwrites it — the next level needs it to absorb the
+		// write-back.
+		res.Victim = tags[victim]<<(c.offBits+c.idxBits) | uint32(set)<<c.offBits
+	}
 	c.valid[set] |= bit
 	if write {
 		c.dirty[set] |= bit
@@ -306,6 +313,27 @@ func (c *Cache) Flush() int {
 	dirty := 0
 	for set := range c.valid {
 		dirty += bits.OnesCount64(c.valid[set] & c.dirty[set])
+		c.valid[set] = 0
+		c.dirty[set] = 0
+	}
+	return dirty
+}
+
+// DrainDirty invalidates the whole cache like Flush, but additionally
+// reports the line address of every dirty line through emit, in
+// deterministic order (sets ascending, ways ascending within a set). It
+// returns the number of dirty lines. The Hierarchy uses it to drain an
+// L1 into its L2 as one write batch; callers that only need the count
+// should use Flush, which never walks lines.
+func (c *Cache) DrainDirty(emit func(addr uint32)) int {
+	c.mSet = -1
+	dirty := 0
+	for set := range c.valid {
+		for live := c.valid[set] & c.dirty[set]; live != 0; live &= live - 1 {
+			w := bits.TrailingZeros64(live)
+			emit(c.tags[set*c.ways+w]<<(c.offBits+c.idxBits) | uint32(set)<<c.offBits)
+			dirty++
+		}
 		c.valid[set] = 0
 		c.dirty[set] = 0
 	}

@@ -83,6 +83,9 @@ func (n *naiveCache) access(addr uint32, write bool) Result {
 	}
 	ln := &n.lines[base+victim]
 	res := Result{Way: victim, Evicted: ln.valid, Writeback: ln.valid && ln.dirty}
+	if ln.valid {
+		res.Victim = ln.tag<<(n.offBits+n.idxBits) | uint32(set)<<n.offBits
+	}
 	*ln = naiveLine{valid: true, tag: tag, lru: n.tick, dirty: write}
 	return res
 }

@@ -82,6 +82,68 @@ type Config struct {
 	// energy-hungry memory accesses"); the flag exists so ablation A5
 	// can quantify that claim. False (reuse) is the paper's design.
 	GateULEWaysAtHP bool
+
+	// L2, when non-nil, puts a second cache level behind the L1s: both
+	// L1 ports of a run feed one unified L2 (shared further across
+	// cores by RunShared). nil keeps the exact single-level platform —
+	// replay, timing and accounting are bit-identical to a build
+	// without the field.
+	L2 *L2Config
+}
+
+// L2Config is the geometry and policy of the optional second level.
+// The L2 is built from HP-sized cells (it stays powered in both modes);
+// its protection policy is independent of the L1's scenario coding,
+// which is the knob behind ECC-in-L2-only design points.
+type L2Config struct {
+	Sets      int
+	Ways      int
+	LineBytes int // must equal the L1 line size (victim lines move verbatim)
+
+	// EnabledWays caps the powered ways (0 = all enabled); the rest
+	// are gated off at construction — the per-level way-disable policy.
+	EnabledWays int
+
+	// Latency is the L1-miss service time from the L2 in cycles; each
+	// demand fill that misses the L2 adds the full MemLatency on top.
+	Latency int
+
+	// Protection selects the level's ECC policy (none, SECDED or
+	// DECTED), applied to data and tag words in both modes.
+	Protection ecc.Kind
+}
+
+// Validate reports whether the L2 geometry and policy are usable
+// against the owning configuration.
+func (l L2Config) Validate(c Config) error {
+	if l.Sets <= 0 || l.Sets&(l.Sets-1) != 0 {
+		return fmt.Errorf("core: L2 sets %d not a power of two", l.Sets)
+	}
+	if l.Ways < 1 || l.Ways > 64 {
+		return fmt.Errorf("core: L2 ways %d outside 1..64", l.Ways)
+	}
+	if l.LineBytes != c.LineBytes {
+		return fmt.Errorf("core: L2 line size %d B must equal the L1's %d B", l.LineBytes, c.LineBytes)
+	}
+	if l.EnabledWays < 0 || l.EnabledWays > l.Ways {
+		return fmt.Errorf("core: L2 enabled ways %d outside 0..%d", l.EnabledWays, l.Ways)
+	}
+	if l.Latency < 1 {
+		return fmt.Errorf("core: L2 latency %d must be ≥ 1", l.Latency)
+	}
+	switch l.Protection {
+	case ecc.KindNone, ecc.KindSECDED, ecc.KindDECTED:
+	default:
+		return fmt.Errorf("core: unknown L2 protection %v", l.Protection)
+	}
+	return nil
+}
+
+// WithL2 returns a copy of the configuration with the given second
+// level — the value-copy shape grid sweeps want.
+func (c Config) WithL2(l2 L2Config) Config {
+	c.L2 = &l2
+	return c
 }
 
 // PaperConfig returns the configuration evaluated in the paper: 8 KB
@@ -134,6 +196,11 @@ func (c Config) Validate() error {
 	}
 	if c.TargetYield <= 0 || c.TargetYield >= 1 {
 		return fmt.Errorf("core: target yield %g invalid", c.TargetYield)
+	}
+	if c.L2 != nil {
+		if err := c.L2.Validate(c); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+
+	"edcache/internal/cpu"
+	"edcache/internal/trace"
+)
+
+// RunShared replays one stream per core through private L1 pairs that
+// all feed one shared L2, and returns one Report per core. The system
+// must be configured with a second level (Config.L2).
+//
+// Scheduling is cpu.RunShared's deterministic round-robin: each round,
+// every live core replays one chunk in core order, its IL1 miss traffic
+// reaching the shared L2 before its DL1's — so the L2 observes a
+// reproducible interleaving and two identical calls agree bit for bit.
+// Per-core counters, timing and phase segmentation are exactly those of
+// RunStream; only the shared L2 state couples the cores.
+//
+// Accounting caveat: each report prices the full shared-L2 leakage over
+// its own core's wall time, so summing reports double-counts the L2's
+// static energy (the structure is shared; its leakage is not per-core).
+// Interference studies should compare dynamic energy, traffic and miss
+// counts, which split exactly.
+func (s *System) RunShared(names []string, streams []trace.Stream, m Mode) ([]Report, error) {
+	if s.cfg.L2 == nil {
+		return nil, fmt.Errorf("core: RunShared needs a second level (Config.L2)")
+	}
+	if len(streams) == 0 {
+		return nil, fmt.Errorf("core: no streams to run")
+	}
+	if len(names) != len(streams) {
+		return nil, fmt.Errorf("core: %d names but %d streams", len(names), len(streams))
+	}
+	l2 := s.newL2Sim()
+	cores := make([]cpu.CorePorts, len(streams))
+	ports := make([][2]*port, len(streams))
+	for i := range streams {
+		il1 := s.newPort(m, false, l2)
+		dl1 := s.newPort(m, true, l2)
+		defer il1.release()
+		defer dl1.release()
+		ports[i] = [2]*port{il1, dl1}
+		cores[i] = cpu.CorePorts{IL1: il1, DL1: dl1}
+	}
+	stats, err := cpu.RunShared(cpu.Config{MemLatency: s.cfg.MemLatency}, cores, streams)
+	if err != nil {
+		return nil, err
+	}
+	reports := make([]Report, len(streams))
+	for i := range streams {
+		rep, err := s.assemble(names[i], m, stats[i], ports[i][0], ports[i][1])
+		if err != nil {
+			return nil, fmt.Errorf("core: shared core %d: %w", i, err)
+		}
+		reports[i] = rep
+	}
+	return reports, nil
+}

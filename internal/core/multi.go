@@ -175,6 +175,9 @@ func RunGroup(name string, stream trace.Stream, members []GroupMember) ([]Report
 		if gm.Sys == nil {
 			return nil, fmt.Errorf("core: nil system in replay group member %d", k)
 		}
+		if gm.Sys.cfg.L2 != nil {
+			return nil, fmt.Errorf("core: replay group member %d (%s) has an L2 — hierarchies replay through RunStream or RunShared, not the banked engine", k, gm.Sys.cfg.Name())
+		}
 		if gm.Sys.cfg.MemLatency != members[0].Sys.cfg.MemLatency {
 			return nil, fmt.Errorf("core: replay group mixes memory latencies %d and %d",
 				members[0].Sys.cfg.MemLatency, gm.Sys.cfg.MemLatency)

@@ -33,6 +33,13 @@ type System struct {
 	dected energy.CodecModel // data-word DECTED codec (zero if unused)
 	tagSEC energy.CodecModel
 	tagDEC energy.CodecModel
+
+	// Second-level models, meaningful only when cfg.L2 is set: one L2
+	// way's storage arrays (HP cells — the level stays powered in both
+	// modes) and the level's own codec pair per its Protection policy.
+	l2Array energy.WayArray
+	l2Data  energy.CodecModel
+	l2Tag   energy.CodecModel
 }
 
 // NewSystem sizes and assembles a system for the configuration.
@@ -81,6 +88,19 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.uleWayCode(ModeULE) == ecc.KindDECTED {
 		s.dected = energy.NewCodecModel(ecc.KindDECTED, cfg.DataWordBits)
 		s.tagDEC = energy.NewCodecModel(ecc.KindDECTED, cfg.TagWordBits)
+	}
+	if cfg.L2 != nil {
+		check := cfg.L2.Protection.CheckBits()
+		s.l2Array = energy.WayArray{
+			Cell:  sizing.HPCell,
+			Lines: cfg.L2.Sets, WordsPerLine: cfg.L2.LineBytes * 8 / cfg.DataWordBits,
+			DataBits: cfg.DataWordBits, DataCheck: check,
+			TagBits: cfg.TagWordBits, TagCheck: check,
+		}
+		if cfg.L2.Protection != ecc.KindNone {
+			s.l2Data = energy.NewCodecModel(cfg.L2.Protection, cfg.DataWordBits)
+			s.l2Tag = energy.NewCodecModel(cfg.L2.Protection, cfg.TagWordBits)
+		}
 	}
 	return s, nil
 }
@@ -245,10 +265,38 @@ func (c *portCounters) add(d portCounters) {
 	c.writeHitULE += d.writeHitULE
 }
 
+// l2Counters are one port's second-level event counts. Word writes into
+// the L2 need no separate tally: every L2 write (an L1 victim line
+// coming down, or a flush) lands its words exactly once, so writes is
+// also the word-write count the energy model charges.
+type l2Counters struct {
+	reads  uint64 // demand fill reads from the L1
+	writes uint64 // dirty-victim write-backs from the L1
+	fills  uint64 // lines allocated (read or write misses)
+	wbs    uint64 // dirty L2 lines written back to memory
+}
+
+// sub returns the field-wise difference c − m.
+func (c l2Counters) sub(m l2Counters) l2Counters {
+	return l2Counters{
+		reads: c.reads - m.reads, writes: c.writes - m.writes,
+		fills: c.fills - m.fills, wbs: c.wbs - m.wbs,
+	}
+}
+
+// add accumulates d into c.
+func (c *l2Counters) add(d l2Counters) {
+	c.reads += d.reads
+	c.writes += d.writes
+	c.fills += d.fills
+	c.wbs += d.wbs
+}
+
 // portPhase is one phase's slice of a port's counters.
 type portPhase struct {
 	id uint8
 	portCounters
+	l2 l2Counters
 }
 
 // runScratch is the batched-replay conversion scratch of one port: the
@@ -279,6 +327,14 @@ type port struct {
 	extra int
 
 	hpWays int // ways [0, hpWays) are HP ways
+
+	// Two-level state, nil/zero on single-level ports: the hierarchy
+	// wrapping sim as its L1 (the L2 behind it may be shared with other
+	// ports), the L2 service latency, and the port's own L2 tallies.
+	hier   *cache.Hierarchy
+	l2lat  int
+	l2     l2Counters
+	l2mark l2Counters
 
 	portCounters
 
@@ -338,12 +394,36 @@ func (p *port) tally(res cache.Result, write bool) (miss bool) {
 	return true
 }
 
+// tallyL2Chunk folds the hierarchy's most recent L2 batch into the
+// port's second-level counters.
+func (p *port) tallyL2Chunk() {
+	ops, rs := p.hier.L2Ops(), p.hier.L2Results()
+	for i := range rs {
+		if ops[i].Write {
+			p.l2.writes++
+		} else {
+			p.l2.reads++
+		}
+		if !rs[i].Hit {
+			p.l2.fills++
+			if rs[i].Writeback {
+				p.l2.wbs++
+			}
+		}
+	}
+}
+
 // Access implements cpu.Port.
 func (p *port) Access(addr uint32, write bool) bool {
 	if write {
 		p.writes++
 	} else {
 		p.reads++
+	}
+	if p.hier != nil {
+		miss := p.tally(p.hier.Access(addr, write), write)
+		p.tallyL2Chunk()
+		return miss
 	}
 	return p.tally(p.sim.Access(addr, write), write)
 }
@@ -362,7 +442,12 @@ func (p *port) AccessBatch(ops []cpu.PortOp, miss []bool) {
 	for i, op := range ops {
 		co[i] = cache.Op{Addr: op.Addr, Write: op.Write}
 	}
-	p.sim.AccessBatch(co, cr)
+	if p.hier != nil {
+		p.hier.AccessBatch(co, cr)
+		p.tallyL2Chunk()
+	} else {
+		p.sim.AccessBatch(co, cr)
+	}
 	for i := range cr {
 		write := co[i].Write
 		if write {
@@ -376,6 +461,18 @@ func (p *port) AccessBatch(ops []cpu.PortOp, miss []bool) {
 
 // ExtraHitLatency implements cpu.Port.
 func (p *port) ExtraHitLatency() int { return p.extra }
+
+// L2Latency implements cpu.TieredPort; zero on single-level ports,
+// which deactivates the extension.
+func (p *port) L2Latency() int { return p.l2lat }
+
+// L2FillMisses implements cpu.TieredPort.
+func (p *port) L2FillMisses() uint64 {
+	if p.hier == nil {
+		return 0
+	}
+	return p.hier.FillMisses()
+}
 
 // BeginPhase implements cpu.PhasePort: cpu.Run calls it at every phase
 // boundary of a phase-annotated stream, before issuing the new phase's
@@ -392,17 +489,20 @@ func (p *port) BeginPhase(id uint8) {
 // into the current phase's slice.
 func (p *port) closeSegment() {
 	d := p.portCounters.sub(p.mark)
+	d2 := p.l2.sub(p.l2mark)
 	p.mark = p.portCounters
-	if d == (portCounters{}) {
+	p.l2mark = p.l2
+	if d == (portCounters{}) && d2 == (l2Counters{}) {
 		return
 	}
 	for i := range p.segs {
 		if p.segs[i].id == p.cur {
 			p.segs[i].add(d)
+			p.segs[i].l2.add(d2)
 			return
 		}
 	}
-	p.segs = append(p.segs, portPhase{id: p.cur, portCounters: d})
+	p.segs = append(p.segs, portPhase{id: p.cur, portCounters: d, l2: d2})
 }
 
 // phase returns this port's counters for one phase id (zero counters
@@ -415,6 +515,16 @@ func (p *port) phase(id uint8) portCounters {
 		}
 	}
 	return portCounters{}
+}
+
+// phaseL2 returns this port's second-level counters for one phase id.
+func (p *port) phaseL2(id uint8) l2Counters {
+	for i := range p.segs {
+		if p.segs[i].id == id {
+			return p.segs[i].l2
+		}
+	}
+	return l2Counters{}
 }
 
 // newSim builds one fresh cache simulator with the configuration's
@@ -439,16 +549,38 @@ func (s *System) newSim(m Mode) *cache.Cache {
 	return sim
 }
 
-func (s *System) newPort(m Mode, dside bool) *port {
+// newL2Sim builds one fresh second-level simulator with the configured
+// geometry and enabled-way cap. The L2 keeps its full way set in both
+// modes — it sits behind the mode-switched L1s and is not part of the
+// hybrid way split.
+func (s *System) newL2Sim() *cache.Cache {
+	l2 := cache.MustNew(cache.Config{Sets: s.cfg.L2.Sets, Ways: s.cfg.L2.Ways, LineBytes: s.cfg.L2.LineBytes})
+	if n := s.cfg.L2.EnabledWays; n > 0 {
+		for w := n; w < s.cfg.L2.Ways; w++ {
+			l2.SetWayEnabled(w, false)
+		}
+	}
+	return l2
+}
+
+// newPort builds one L1 port; a non-nil l2 chains the fresh L1 behind
+// it as a two-level hierarchy (the same l2 may back several ports —
+// that sharing is the unified-L2 and shared-L2 arrangement).
+func (s *System) newPort(m Mode, dside bool, l2 *cache.Cache) *port {
 	extra := 0
 	if dside {
 		extra = s.ExtraHitLatency(m)
 	}
-	return &port{
+	p := &port{
 		sim: s.newSim(m), extra: extra,
 		hpWays: s.cfg.Ways - s.cfg.ULEWays,
 		scr:    scratchPool.Get().(*runScratch),
 	}
+	if l2 != nil {
+		p.hier = cache.MustNewHierarchy(p.sim, l2)
+		p.l2lat = s.cfg.L2.Latency
+	}
+	return p
 }
 
 // Breakdown is the per-instruction energy decomposition of Figures 3/4.
@@ -474,6 +606,14 @@ type Report struct {
 	TimeNS float64
 	EPI    Breakdown
 
+	// Levels, non-nil only when the system ran with a second level
+	// (Config.L2), splits the cache portion of the run per level: the
+	// EPI terms of Breakdown restricted to one level's arrays and
+	// codecs, plus that level's traffic and the stall time its misses
+	// cost. Levels sum back to the cache terms of EPI exactly, and the
+	// per-level stall times sum to Stats.MissCycles' wall time.
+	Levels []LevelEPI
+
 	// Phases, non-nil only when the replayed stream carried phase
 	// annotations, segments the run per working-set regime: the same
 	// counters, time and EPI decomposition, restricted to one phase id.
@@ -489,7 +629,29 @@ type PhaseReport struct {
 	Stats  cpu.Stats // the segment's counters (Phases nil)
 	TimeNS float64
 	EPI    Breakdown
+
+	// Levels is the phase's per-level split, mirroring Report.Levels;
+	// non-nil only on hierarchy runs.
+	Levels []LevelEPI
 }
+
+// LevelEPI is one cache level's slice of a (sub-)run: its energy terms
+// per instruction, its traffic, and the core stall time attributable to
+// its misses — L1 misses cost the L2 service latency, L2 fill misses
+// the full memory latency, so the per-level StallNS sum to the run's
+// total miss stall time.
+type LevelEPI struct {
+	Level    string  // "L1" (both private L1s together) or "L2"
+	Dynamic  float64 // array switching energy (pJ/instr)
+	Leakage  float64 // pJ/instr
+	EDC      float64 // codec energy (pJ/instr)
+	Accesses uint64
+	Misses   uint64
+	StallNS  float64
+}
+
+// EPI returns the level's total energy per instruction (pJ).
+func (l LevelEPI) EPI() float64 { return l.Dynamic + l.Leakage + l.EDC }
 
 // Run executes the workload on the system in the given mode and returns
 // timing plus the EPI breakdown.
@@ -500,9 +662,19 @@ func (s *System) Run(w bench.Workload, m Mode) (Report, error) {
 // RunStream is Run for an arbitrary instruction stream. When the stream
 // is phase-annotated (trace.PhaseAnnotated) the report additionally
 // carries a per-phase segmentation of counters, time and EPI.
+//
+// With Config.L2 set, both L1 ports feed one unified L2: per replay
+// chunk, the IL1 miss traffic reaches the L2 first, then the DL1's —
+// the deterministic chunk-order semantics of the batched hierarchy
+// (cache.Hierarchy) — and the report gains per-level breakdowns in
+// Levels.
 func (s *System) RunStream(name string, stream trace.Stream, m Mode) (Report, error) {
-	il1 := s.newPort(m, false)
-	dl1 := s.newPort(m, true)
+	var l2 *cache.Cache
+	if s.cfg.L2 != nil {
+		l2 = s.newL2Sim()
+	}
+	il1 := s.newPort(m, false, l2)
+	dl1 := s.newPort(m, true, l2)
 	defer il1.release()
 	defer dl1.release()
 	stats, err := cpu.Run(cpu.Config{MemLatency: s.cfg.MemLatency}, il1, dl1, stream)
@@ -529,6 +701,12 @@ func (s *System) assemble(name string, m Mode, stats cpu.Stats, il1, dl1 *port) 
 		TimeNS:   timeNS,
 		EPI:      s.breakdown(m, il1.portCounters, dl1.portCounters, stats.Instructions, timeNS),
 	}
+	hier := il1.hier != nil
+	if hier {
+		l2c := il1.l2
+		l2c.add(dl1.l2)
+		rep.Levels = s.levelize(m, &rep.EPI, stats, l2c, timeNS)
+	}
 	if stats.Phases != nil {
 		// Fold each port's trailing segment in, then decompose every
 		// phase with the same accounting the run-level breakdown uses —
@@ -538,15 +716,90 @@ func (s *System) assemble(name string, m Mode, stats cpu.Stats, il1, dl1 *port) 
 		dl1.closeSegment()
 		for _, seg := range stats.Phases {
 			pt := float64(seg.Stats.Cycles) / s.cfg.FreqGHz(m)
-			rep.Phases = append(rep.Phases, PhaseReport{
+			pr := PhaseReport{
 				Phase:  seg.Phase,
 				Stats:  seg.Stats,
 				TimeNS: pt,
 				EPI:    s.breakdown(m, il1.phase(seg.Phase), dl1.phase(seg.Phase), seg.Stats.Instructions, pt),
-			})
+			}
+			if hier {
+				pl2 := il1.phaseL2(seg.Phase)
+				pl2.add(dl1.phaseL2(seg.Phase))
+				pr.Levels = s.levelize(m, &pr.EPI, seg.Stats, pl2, pt)
+			}
+			rep.Phases = append(rep.Phases, pr)
 		}
 	}
 	return rep, nil
+}
+
+// levelize splits one (sub-)run's cache accounting per level. On entry
+// b carries the L1-only breakdown; the L2's own dynamic, leakage and
+// codec terms are computed from its counters, folded into b's totals,
+// and the per-level rows returned. Keeping the fold here (rather than
+// inside breakdown) leaves every single-level code path — and its
+// results — untouched.
+func (s *System) levelize(m Mode, b *Breakdown, st cpu.Stats, l2c l2Counters, timeNS float64) []LevelEPI {
+	instr := float64(st.Instructions)
+	freq := s.cfg.FreqGHz(m)
+	l1 := LevelEPI{
+		Level: "L1", Dynamic: b.CacheDynamic, Leakage: b.CacheLeakage, EDC: b.EDC,
+		Accesses: st.IAccesses + st.DAccesses,
+		Misses:   st.IMisses + st.DMisses,
+		StallNS:  float64((st.IMisses+st.DMisses)*uint64(s.cfg.L2.Latency)) / freq,
+	}
+	dyn, leak, edc := s.l2Breakdown(m, l2c, timeNS)
+	l2 := LevelEPI{
+		Level: "L2", Dynamic: dyn / instr, Leakage: leak / instr, EDC: edc / instr,
+		Accesses: l2c.reads + l2c.writes,
+		Misses:   l2c.fills,
+		StallNS:  float64((st.IL2Misses+st.DL2Misses)*uint64(s.cfg.MemLatency)) / freq,
+	}
+	b.CacheDynamic += l2.Dynamic
+	b.CacheLeakage += l2.Leakage
+	b.EDC += l2.EDC
+	return []LevelEPI{l1, l2}
+}
+
+// l2Breakdown returns the second level's raw (not per-instruction)
+// dynamic, leakage and codec energies for one (sub-)run, mirroring the
+// L1 accounting term by term: parallel lookups over the enabled ways,
+// line-granular fills and write-backs, per-word codec passes, and
+// leakage with the disabled ways gated. Every term is linear in the
+// counters, so phase slices sum to run totals.
+func (s *System) l2Breakdown(m Mode, c l2Counters, timeNS float64) (dyn, leak, edc float64) {
+	vcc := s.cfg.Vcc(m)
+	l2cfg := s.cfg.L2
+	enabled := l2cfg.Ways
+	if l2cfg.EnabledWays > 0 {
+		enabled = l2cfg.EnabledWays
+	}
+	check := l2cfg.Protection.CheckBits()
+	d := s.cfg.DataWordBits + check
+	t := s.cfg.TagWordBits + check
+	wpl := l2cfg.LineBytes * 8 / s.cfg.DataWordBits
+
+	// Lookups probe every enabled way; a write lands its victim line
+	// word by word (writes == word-write count, see l2Counters); fills
+	// write the whole line plus tag; write-backs read the line out.
+	dyn = float64(c.reads+c.writes) * float64(enabled) * s.l2Array.AccessEnergy(vcc, d, t)
+	dyn += float64(c.writes) * float64(wpl) * s.l2Array.WriteEnergy(vcc, d, 0)
+	dyn += float64(c.fills) * (s.l2Array.WriteEnergy(vcc, d, t) + float64(wpl-1)*s.l2Array.WriteEnergy(vcc, d, 0))
+	dyn += float64(c.wbs) * float64(wpl) * s.l2Array.AccessEnergy(vcc, d, 0)
+
+	leak = (float64(enabled)*s.l2Array.LeakPower(vcc, false) +
+		float64(l2cfg.Ways-enabled)*s.l2Array.LeakPower(vcc, true)) * timeNS
+
+	// Codec traffic: reads decode the selected word, incoming lines
+	// (writes and fills) encode every word plus the tag, write-backs to
+	// memory decode every word. Zero-valued models cost nothing.
+	edc = float64(c.reads) * s.l2Data.DecodeEnergy(vcc)
+	edc += float64(c.writes+c.fills) * (float64(wpl)*s.l2Data.EncodeEnergy(vcc) + s.l2Tag.EncodeEnergy(vcc))
+	edc += float64(c.wbs) * float64(wpl) * s.l2Data.DecodeEnergy(vcc)
+	if l2cfg.Protection != ecc.KindNone {
+		leak += (s.l2Data.LeakPower(vcc, false) + s.l2Tag.LeakPower(vcc, false)) * timeNS
+	}
+	return dyn, leak, edc
 }
 
 // breakdown decomposes the energy of one (sub-)run — full run or one

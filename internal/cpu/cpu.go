@@ -10,6 +10,9 @@
 //   - one instruction issues per cycle;
 //   - an IL1 miss stalls fetch for the memory latency;
 //   - a DL1 miss stalls for the memory latency (write-allocate);
+//   - behind a two-level hierarchy (TieredPort) an L1 miss stalls for
+//     the L2 latency instead, and each demand fill that also misses the
+//     L2 adds the full memory latency on top;
 //   - a load that hits stalls max(0, hitLatency − useDistance) cycles:
 //     with the baseline single-cycle hit this is never a stall, with the
 //     extra EDC pipeline stage it stalls loads whose consumer is the
@@ -50,6 +53,33 @@ type PortOp struct {
 type BatchPort interface {
 	Port
 	AccessBatch(ops []PortOp, miss []bool)
+}
+
+// TieredPort is an optional Port extension advertising a second cache
+// level behind the L1. When a port implements it with L2Latency() > 0,
+// the core prices an L1 miss at the L2 service latency instead of the
+// memory latency, and adds the full memory latency for every demand
+// fill that missed the L2 as well. L2FillMisses is a running counter
+// (monotone within a run); the core reads it by deltas, so scalar and
+// batched replay agree per construction — the counter depends only on
+// the port's own access sequence, which both paths issue identically.
+type TieredPort interface {
+	Port
+	// L2Latency returns the L2 hit service time in cycles; 0 means the
+	// port is effectively single-level and the extension is ignored.
+	L2Latency() int
+	// L2FillMisses returns the running count of demand fills that
+	// missed the L2 (memory fetches) since the port was built.
+	L2FillMisses() uint64
+}
+
+// tiered returns p as an active TieredPort, or nil when p is
+// single-level (no interface, or a zero L2 latency).
+func tiered(p Port) TieredPort {
+	if t, ok := p.(TieredPort); ok && t.L2Latency() > 0 {
+		return t
+	}
+	return nil
 }
 
 // PhasePort is an optional Port extension for phase-segmented
@@ -94,6 +124,12 @@ type Stats struct {
 	DAccesses uint64
 	DMisses   uint64
 
+	// IL2Misses/DL2Misses count the per-side L1 demand fills that also
+	// missed the second level (memory fetches). Zero for single-level
+	// ports, where IMisses/DMisses themselves are the memory fetches.
+	IL2Misses uint64
+	DL2Misses uint64
+
 	LoadUseStalls uint64 // cycles lost to load-to-use stalls
 	MissCycles    uint64 // cycles lost to memory accesses
 
@@ -136,6 +172,8 @@ func subCounters(a, b Stats) Stats {
 		IMisses:       a.IMisses - b.IMisses,
 		DAccesses:     a.DAccesses - b.DAccesses,
 		DMisses:       a.DMisses - b.DMisses,
+		IL2Misses:     a.IL2Misses - b.IL2Misses,
+		DL2Misses:     a.DL2Misses - b.DL2Misses,
 		LoadUseStalls: a.LoadUseStalls - b.LoadUseStalls,
 		MissCycles:    a.MissCycles - b.MissCycles,
 	}
@@ -153,6 +191,8 @@ func addCounters(dst *Stats, d Stats) {
 	dst.IMisses += d.IMisses
 	dst.DAccesses += d.DAccesses
 	dst.DMisses += d.DMisses
+	dst.IL2Misses += d.IL2Misses
+	dst.DL2Misses += d.DL2Misses
 	dst.LoadUseStalls += d.LoadUseStalls
 	dst.MissCycles += d.MissCycles
 }
@@ -260,6 +300,40 @@ func Run(cfg Config, il1, dl1 Port, s trace.Stream) (Stats, error) {
 	return runScalar(cfg, il1, dl1, s, phased), nil
 }
 
+// sideTimer prices one cache side's misses: flat memory latency for a
+// single-level port, L2 service latency plus memory latency per L2 fill
+// miss behind an active TieredPort. The fill-miss counter is read by
+// delta, so both replay paths charge exactly the fills their own access
+// sequence caused.
+type sideTimer struct {
+	tp   TieredPort
+	cost uint64 // cycles per L1 miss (memory latency, or L2 latency)
+	mem  uint64
+	mark uint64 // L2 fill-miss counter at the last read
+}
+
+func newSideTimer(p Port, mem uint64) sideTimer {
+	t := sideTimer{cost: mem, mem: mem}
+	if tp := tiered(p); tp != nil {
+		t.tp = tp
+		t.cost = uint64(tp.L2Latency())
+		t.mark = tp.L2FillMisses()
+	}
+	return t
+}
+
+// l2Delta returns the demand fills that missed the L2 since the last
+// call — always zero for single-level ports.
+func (t *sideTimer) l2Delta() uint64 {
+	if t.tp == nil {
+		return 0
+	}
+	f := t.tp.L2FillMisses()
+	d := f - t.mark
+	t.mark = f
+	return d
+}
+
 // runScalar is the per-instruction path of Run.
 func runScalar(cfg Config, il1, dl1 Port, s trace.Stream, phased bool) Stats {
 	var st Stats
@@ -268,6 +342,9 @@ func runScalar(cfg Config, il1, dl1 Port, s trace.Stream, phased bool) Stats {
 		lg = newPhaseLedger(il1, dl1)
 	}
 	dExtra := dl1.ExtraHitLatency()
+	mem := uint64(cfg.MemLatency)
+	it := newSideTimer(il1, mem)
+	dt := newSideTimer(dl1, mem)
 	for {
 		inst, ok := s.Next()
 		if !ok {
@@ -283,8 +360,11 @@ func runScalar(cfg Config, il1, dl1 Port, s trace.Stream, phased bool) Stats {
 		st.IAccesses++
 		if il1.Access(inst.PC, false) {
 			st.IMisses++
-			st.Cycles += uint64(cfg.MemLatency)
-			st.MissCycles += uint64(cfg.MemLatency)
+			l2 := it.l2Delta()
+			st.IL2Misses += l2
+			stall := it.cost + l2*mem
+			st.Cycles += stall
+			st.MissCycles += stall
 		}
 
 		switch {
@@ -293,8 +373,11 @@ func runScalar(cfg Config, il1, dl1 Port, s trace.Stream, phased bool) Stats {
 			st.DAccesses++
 			if dl1.Access(inst.Addr, false) {
 				st.DMisses++
-				st.Cycles += uint64(cfg.MemLatency)
-				st.MissCycles += uint64(cfg.MemLatency)
+				l2 := dt.l2Delta()
+				st.DL2Misses += l2
+				stall := dt.cost + l2*mem
+				st.Cycles += stall
+				st.MissCycles += stall
 			} else if dExtra > 0 && inst.UseDist > 0 {
 				// Hit: the consumer sees the value after
 				// 1+dExtra cycles; a consumer UseDist away hides
@@ -309,8 +392,11 @@ func runScalar(cfg Config, il1, dl1 Port, s trace.Stream, phased bool) Stats {
 			st.DAccesses++
 			if dl1.Access(inst.Addr, true) {
 				st.DMisses++
-				st.Cycles += uint64(cfg.MemLatency)
-				st.MissCycles += uint64(cfg.MemLatency)
+				l2 := dt.l2Delta()
+				st.DL2Misses += l2
+				stall := dt.cost + l2*mem
+				st.Cycles += stall
+				st.MissCycles += stall
 			}
 		case inst.IsBranch:
 			st.Branches++
@@ -333,6 +419,8 @@ type batcher struct {
 	dExtra int
 	il1    BatchPort
 	dl1    BatchPort
+	it     sideTimer
+	dt     sideTimer
 	iops   []PortOp
 	imiss  []bool
 	dops   []PortOp
@@ -341,11 +429,14 @@ type batcher struct {
 }
 
 func newBatcher(cfg Config, il1, dl1 BatchPort) *batcher {
+	mem := uint64(cfg.MemLatency)
 	return &batcher{
-		mem:    uint64(cfg.MemLatency),
+		mem:    mem,
 		dExtra: dl1.ExtraHitLatency(),
 		il1:    il1,
 		dl1:    dl1,
+		it:     newSideTimer(il1, mem),
+		dt:     newSideTimer(dl1, mem),
 		iops:   make([]PortOp, batchSize),
 		imiss:  make([]bool, batchSize),
 		dops:   make([]PortOp, 0, batchSize),
@@ -423,11 +514,15 @@ func loadUseStalls(dExtra int, udist []uint8, dmiss []bool) uint64 {
 
 // foldChunk accumulates one chunk's outcome into st: n issue slots,
 // the shared mix tally, and the member-specific miss counts and
-// load-use stalls. Every term is a commutative sum, and the phase
-// ledger only snapshots Stats between chunks, so chunk-granular
-// folding is invisible to the per-phase segmentation.
-func foldChunk(st *Stats, n int, mix chunkMix, mem, imisses, dmisses, loadUse uint64) {
-	missCycles := mem * (imisses + dmisses)
+// load-use stalls. iCost/dCost price each side's L1 misses (the memory
+// latency for single-level ports, the L2 latency behind a hierarchy);
+// il2/dl2 are the chunk's L2 fill misses, each worth the full memory
+// latency on top. With iCost == dCost == mem and zero L2 counts this is
+// exactly the single-level fold. Every term is a commutative sum, and
+// the phase ledger only snapshots Stats between chunks, so
+// chunk-granular folding is invisible to the per-phase segmentation.
+func foldChunk(st *Stats, n int, mix chunkMix, iCost, dCost, mem, imisses, dmisses, il2, dl2, loadUse uint64) {
+	missCycles := iCost*imisses + dCost*dmisses + mem*(il2+dl2)
 	st.Instructions += uint64(n)
 	st.Cycles += uint64(n) + missCycles + loadUse // issue slots + stalls
 	st.IAccesses += uint64(n)
@@ -438,6 +533,8 @@ func foldChunk(st *Stats, n int, mix chunkMix, mem, imisses, dmisses, loadUse ui
 	st.TakenBranches += mix.taken
 	st.DAccesses += mix.loads + mix.stores
 	st.DMisses += dmisses
+	st.IL2Misses += il2
+	st.DL2Misses += dl2
 	st.LoadUseStalls += loadUse
 	st.MissCycles += missCycles
 }
@@ -464,7 +561,8 @@ func (b *batcher) process(insts []trace.Inst) {
 	if b.dExtra > 0 {
 		loadUse = loadUseStalls(b.dExtra, udist, b.dmiss)
 	}
-	foldChunk(&b.st, n, mix, b.mem, imisses, dmisses, loadUse)
+	foldChunk(&b.st, n, mix, b.it.cost, b.dt.cost, b.mem,
+		imisses, dmisses, b.it.l2Delta(), b.dt.l2Delta(), loadUse)
 }
 
 // runBatched is the chunked fast path of Run. For phase-annotated

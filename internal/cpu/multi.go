@@ -215,7 +215,7 @@ func (b *multiBatcher) process(insts []trace.Inst) {
 		if b.dExtra[k] > 0 {
 			loadUse = loadUseStalls(b.dExtra[k], udist, b.dmiss[k])
 		}
-		foldChunk(&b.sts[k], n, mix, b.mem, imisses, dmisses, loadUse)
+		foldChunk(&b.sts[k], n, mix, b.mem, b.mem, b.mem, imisses, dmisses, 0, 0, loadUse)
 	}
 }
 

@@ -46,6 +46,15 @@ type Options struct {
 	// once as a shared slab and every grid point replays it.
 	TraceFiles []string
 
+	// L2Geometries lists the second-level geometries (sets × ways at
+	// the L1's line size) swept by the hierarchy experiments hier-epi
+	// and shared-l2; default 128×8 and 512×8 — 32 KB and 128 KB behind
+	// the paper's 8 KB L1s.
+	L2Geometries []L2Geometry
+	// L2Latency is the L1-miss service latency of every swept L2 in
+	// cycles (default 6).
+	L2Latency int
+
 	// MapThreshold is the file size (bytes) at which trace files are
 	// memory-mapped in place (trace.MapArena) instead of decoded into
 	// materialized slabs; 0 means trace.DefaultMapThreshold. Mapping
@@ -74,6 +83,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if len(o.L2Geometries) == 0 {
+		o.L2Geometries = []L2Geometry{{Sets: 128, Ways: 8}, {Sets: 512, Ways: 8}}
+	}
+	if o.L2Latency <= 0 {
+		o.L2Latency = 6
 	}
 	if o.arenas == nil {
 		o.arenas = bench.NewArenaCache()
@@ -112,6 +127,8 @@ func RegisterAll(r *sim.Registry, o Options) {
 	r.MustRegister(corpusMissExperiment(o))
 	r.MustRegister(phaseEPIExperiment(o))
 	r.MustRegister(funcCorrExperiment(o))
+	r.MustRegister(hierEPIExperiment(o))
+	r.MustRegister(sharedL2Experiment(o))
 }
 
 // scenarios is the evaluation order of the paper's two reliability
