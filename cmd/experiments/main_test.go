@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 
@@ -98,5 +102,126 @@ func TestTraceFileSweep(t *testing.T) {
 	if err := run([]string{"-run", "corpus-miss", "-instructions", "2000",
 		"-trace", filepath.Join(t.TempDir(), "missing.trace")}, &bytes.Buffer{}); err == nil {
 		t.Fatal("missing trace file accepted")
+	}
+}
+
+// storeEntries lists the sealed checkpoint files under a -store dir,
+// skipping the quarantine subtree.
+func storeEntries(t *testing.T, dir string) []string {
+	t.Helper()
+	var entries []string
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() && d.Name() == "quarantine" {
+			return filepath.SkipDir
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".res") {
+			entries = append(entries, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(entries)
+	return entries
+}
+
+// TestStoreResumeByteIdentical is the driver-level durability contract:
+// a sweep checkpointed through -store, then "killed" partway (simulated
+// by deleting a slice of its checkpoints and corrupting another), must
+// resume with -resume at a different worker count and produce output
+// byte-identical to an uninterrupted run without any store at all.
+func TestStoreResumeByteIdentical(t *testing.T) {
+	args := func(extra ...string) []string {
+		return append([]string{"-run", "headline,area", "-instructions", "2000",
+			"-seed", "3", "-format", "json"}, extra...)
+	}
+	var golden bytes.Buffer
+	if err := run(args(), &golden); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	var first bytes.Buffer
+	if err := run(args("-store", dir, "-workers", "2"), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != golden.String() {
+		t.Fatal("store-backed run differs from plain run")
+	}
+	entries := storeEntries(t, dir)
+	if len(entries) < 4 {
+		t.Fatalf("only %d checkpoints written, fixture too weak", len(entries))
+	}
+
+	// Simulate the killed sweep: some grid points never checkpointed,
+	// one checkpoint torn by the crash.
+	var survivors []string
+	for i, p := range entries {
+		if i%3 == 0 {
+			if err := os.Remove(p); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		survivors = append(survivors, p)
+	}
+	corrupt, err := os.ReadFile(survivors[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt[len(corrupt)-1] ^= 0xFF
+	if err := os.WriteFile(survivors[0], corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var resumed bytes.Buffer
+	if err := run(args("-store", dir, "-resume", "-workers", "5"), &resumed); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.String() != golden.String() {
+		t.Fatal("resumed run differs from uninterrupted run")
+	}
+}
+
+func TestResumeRequiresStore(t *testing.T) {
+	err := run([]string{"-resume", "-run", "area"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "-store") {
+		t.Fatalf("-resume without -store accepted (err=%v)", err)
+	}
+}
+
+// TestTaskErrorFlushesCompletedResults pins the failure path: a grid
+// point that errors (here: a missing trace file) must still flush every
+// result that completed before the failure stopped dispatch, and the
+// run must report the error for the non-zero exit.
+func TestTaskErrorFlushesCompletedResults(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "missing.trace")
+	var out bytes.Buffer
+	err := run([]string{"-run", "corpus", "-instructions", "2000",
+		"-trace", missing, "-format", "csv", "-workers", "2"}, &out)
+	if err == nil {
+		t.Fatal("missing trace file did not fail the sweep")
+	}
+	if !strings.Contains(err.Error(), "missing.trace") {
+		t.Fatalf("error does not name the failing source: %v", err)
+	}
+	if !strings.Contains(out.String(), "corpus,scenario=A") {
+		t.Fatalf("completed results were not flushed before the failure:\n%s", out.String())
+	}
+}
+
+// TestInterruptExitsNonZero pins the signal path's plumbing: a
+// cancelled context surfaces as context.Canceled from the driver body,
+// which cli.Main turns into a non-zero exit.
+func TestInterruptExitsNonZero(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := runCtx(ctx, []string{"-run", "area", "-instructions", "2000"}, &bytes.Buffer{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
 	}
 }

@@ -29,9 +29,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"edcache/internal/bench"
 	"edcache/internal/cli"
+	"edcache/internal/store"
 	"edcache/internal/trace"
 )
 
@@ -253,6 +255,12 @@ func reindexTrace(src, dst string, chunk int, stdout io.Writer) error {
 	if werr == nil {
 		werr = r.Err() // source corruption surfaces here, after the drain
 	}
+	if werr == nil {
+		// Seal the bytes before any rename can expose the new file: a
+		// crash after an un-fsynced rename could leave a truncated
+		// container under the original's name.
+		werr = out.Sync()
+	}
 	if cerr := out.Close(); werr == nil {
 		werr = cerr
 	}
@@ -266,6 +274,12 @@ func reindexTrace(src, dst string, chunk int, stdout io.Writer) error {
 			return err
 		}
 		outPath = src
+	}
+	// Make the directory entry itself durable — the same discipline as
+	// the result store (see docs/STORE.md): rename without a parent
+	// fsync can be undone by a crash.
+	if err := store.SyncDir(filepath.Dir(outPath)); err != nil {
+		return fmt.Errorf("reindex %s: sync directory: %w", src, err)
 	}
 	fmt.Fprintf(stdout, "reindexed %d instructions from %s to %s (v2, per-chunk CRC32C, seekable index)\n", n, src, outPath)
 	return nil

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"runtime"
+	"strings"
 
 	"edcache/internal/bench"
 	"edcache/internal/core"
@@ -102,12 +103,50 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// CanonicalString renders every result-affecting option in a fixed
+// order — the "canonicalized Options" part of a result store digest.
+// Workers and MapThreshold are deliberately absent: the engine's
+// standing determinism and mmap-differential tests prove neither can
+// change a result byte, so including them would only split the cache.
+func (o Options) CanonicalString() string {
+	o = o.withDefaults()
+	var b strings.Builder
+	fmt.Fprintf(&b, "instructions=%d trials=%d mcsamples=", o.Instructions, o.Trials)
+	for i, s := range o.MCSamples {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", s)
+	}
+	b.WriteString(" traces=")
+	for i, tf := range o.TraceFiles {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(tf)
+	}
+	b.WriteString(" l2=")
+	for i, g := range o.L2Geometries {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(g.String())
+	}
+	fmt.Fprintf(&b, " l2lat=%d", o.L2Latency)
+	return b.String()
+}
+
 // RegisterAll registers the full evaluation suite on the registry. The
 // defaulted Options carry the run's shared decode-once caches, so every
 // experiment registered here generates each workload — and decodes each
 // trace file — at most once, no matter how many grids replay it.
+// It also registers the typed Result.Data payloads the suite attaches
+// (core.Pair under the figure and corpus grids), so store-backed runs
+// can checkpoint those results losslessly and Finish aggregation works
+// across a resume.
 func RegisterAll(r *sim.Registry, o Options) {
 	o = o.withDefaults()
+	sim.RegisterPayload[core.Pair]("core.Pair")
 	r.MustRegister(sizingExperiment())
 	r.MustRegister(yieldExperiment())
 	r.MustRegister(fig3Experiment(o))

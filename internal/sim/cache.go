@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"edcache/internal/store"
+)
+
+// ResultCache is the Runner's checkpoint surface: consulted before a
+// task runs, written after it completes. A cache hit replaces the task
+// execution byte-exactly, which is what lets an interrupted sweep
+// resume instead of recomputing. Implementations must be safe for
+// concurrent use; Put is best-effort (a failed checkpoint must not fail
+// the sweep, so Put reports nothing).
+type ResultCache interface {
+	Get(experiment string, t Task) (Result, bool)
+	Put(experiment string, t Task, r Result)
+}
+
+// ---- typed payload registry ----
+//
+// Result.Data is an opaque `any` the sinks ignore but Finish hooks
+// consume (e.g. core.Pair under the corpus averages). Checkpointing a
+// result must preserve it, so payload types register a named JSON codec
+// here; a result whose Data type is unregistered is simply never
+// checkpointed — recomputing is always correct, silently dropping the
+// payload (and with it the Finish aggregation) never is.
+
+// payloadCodec decodes one registered payload type.
+type payloadCodec func(raw json.RawMessage) (any, error)
+
+var (
+	payloadMu     sync.RWMutex
+	payloadByName = map[string]payloadCodec{}
+	payloadByType = map[reflect.Type]string{}
+)
+
+// RegisterPayload registers T as a checkpointable Result.Data payload
+// under a stable name (part of the on-disk envelope — renaming orphans
+// old checkpoints into recomputation, which is safe but wasteful).
+// Registering the same (name, T) again is a no-op; reusing a name for a
+// different type panics.
+func RegisterPayload[T any](name string) {
+	var zero T
+	typ := reflect.TypeOf(zero)
+	if typ == nil {
+		panic("sim: RegisterPayload needs a concrete type")
+	}
+	payloadMu.Lock()
+	defer payloadMu.Unlock()
+	if prev, ok := payloadByType[typ]; ok && prev != name {
+		panic(fmt.Sprintf("sim: payload type %v already registered as %q", typ, prev))
+	}
+	if _, ok := payloadByName[name]; ok {
+		if payloadByType[typ] != name {
+			panic(fmt.Sprintf("sim: payload name %q already registered to another type", name))
+		}
+		return
+	}
+	payloadByName[name] = func(raw json.RawMessage) (any, error) {
+		var v T
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return nil, err
+		}
+		return v, nil
+	}
+	payloadByType[typ] = name
+}
+
+// payloadName resolves a concrete Data value's registered name.
+func payloadName(v any) (string, bool) {
+	payloadMu.RLock()
+	defer payloadMu.RUnlock()
+	name, ok := payloadByType[reflect.TypeOf(v)]
+	return name, ok
+}
+
+// payloadDecoder resolves a registered name's decoder.
+func payloadDecoder(name string) (payloadCodec, bool) {
+	payloadMu.RLock()
+	defer payloadMu.RUnlock()
+	c, ok := payloadByName[name]
+	return c, ok
+}
+
+// storedResult is the JSON envelope a checkpointed result travels in.
+// Result.Data carries `json:"-"`, so the payload rides separately as
+// (type name, raw JSON) and is re-typed on decode.
+type storedResult struct {
+	Result   Result          `json:"result"`
+	DataType string          `json:"dataType,omitempty"`
+	Data     json.RawMessage `json:"data,omitempty"`
+}
+
+// EncodeResult serializes a result for checkpointing. ok is false when
+// the result cannot round-trip losslessly — an unregistered Data
+// payload, or metric values JSON cannot carry (NaN, ±Inf) — in which
+// case the result must be recomputed on resume rather than stored
+// lossily. Finite float64 metrics round-trip exactly: encoding/json
+// emits the shortest representation that parses back to the same bits.
+func EncodeResult(r Result) ([]byte, bool) {
+	env := storedResult{Result: r}
+	if r.Data != nil {
+		name, ok := payloadName(r.Data)
+		if !ok {
+			return nil, false
+		}
+		raw, err := json.Marshal(r.Data)
+		if err != nil {
+			return nil, false
+		}
+		env.DataType, env.Data = name, raw
+	}
+	b, err := json.Marshal(env)
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+// DecodeResult parses a checkpointed result, re-typing its Data payload
+// through the registry.
+func DecodeResult(b []byte) (Result, error) {
+	var env storedResult
+	if err := json.Unmarshal(b, &env); err != nil {
+		return Result{}, fmt.Errorf("sim: decode result: %w", err)
+	}
+	r := env.Result
+	if env.DataType != "" {
+		dec, ok := payloadDecoder(env.DataType)
+		if !ok {
+			return Result{}, fmt.Errorf("sim: decode result: unregistered payload type %q", env.DataType)
+		}
+		v, err := dec(env.Data)
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: decode result payload %q: %w", env.DataType, err)
+		}
+		r.Data = v
+	}
+	return r, nil
+}
+
+// StoreCache adapts a content-addressed store.Store into a ResultCache:
+// the durable checkpoint layer behind `experiments -store`. Each task's
+// digest covers the Scope (module version, canonicalized options,
+// master seed — everything beyond the grid coordinates that could
+// change result bytes) plus the experiment name and the task's
+// coordinates, so a stale store can only ever miss, never serve a
+// result computed under different conditions.
+type StoreCache struct {
+	// Store is the backing entry store.
+	Store *store.Store
+	// Scope is the run-identity digest prefix; see above.
+	Scope []string
+	// Read gates serving hits (the -resume switch). Checkpoints are
+	// always written; reads are opt-in so a default run recomputes
+	// everything and merely refreshes the store.
+	Read bool
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	skipped   atomic.Uint64
+	putErrors atomic.Uint64
+}
+
+// CacheStats is a snapshot of a StoreCache's traffic.
+type CacheStats struct {
+	Hits      uint64 // tasks served from the store
+	Misses    uint64 // read-enabled lookups that found nothing usable
+	Skipped   uint64 // results not checkpointable (unregistered payload, NaN metric)
+	PutErrors uint64 // checkpoint writes that failed (ENOSPC, ...); sweep unaffected
+}
+
+// Stats returns a snapshot of the cache's counters.
+func (c *StoreCache) Stats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Skipped:   c.skipped.Load(),
+		PutErrors: c.putErrors.Load(),
+	}
+}
+
+// digest derives the task's content address.
+func (c *StoreCache) digest(experiment string, t Task) store.Digest {
+	parts := make([]string, 0, len(c.Scope)+5)
+	parts = append(parts, c.Scope...)
+	parts = append(parts, experiment, strconv.Itoa(t.ID), t.Label, t.ParamString(),
+		strconv.FormatInt(t.Seed, 10))
+	return store.NewDigest(parts...)
+}
+
+// Get implements ResultCache.
+func (c *StoreCache) Get(experiment string, t Task) (Result, bool) {
+	if !c.Read {
+		return Result{}, false
+	}
+	b, ok := c.Store.Get(c.digest(experiment, t))
+	if !ok {
+		c.misses.Add(1)
+		return Result{}, false
+	}
+	r, err := DecodeResult(b)
+	if err != nil {
+		// The entry passed its CRC but the envelope does not decode —
+		// e.g. a payload type this binary no longer registers. Recompute.
+		c.misses.Add(1)
+		return Result{}, false
+	}
+	c.hits.Add(1)
+	return r, true
+}
+
+// Put implements ResultCache. Checkpointing is strictly best-effort:
+// an unencodable result or a failed write is counted and skipped, never
+// surfaced — the sweep's own results are already in memory and correct.
+func (c *StoreCache) Put(experiment string, t Task, r Result) {
+	b, ok := EncodeResult(r)
+	if !ok {
+		c.skipped.Add(1)
+		return
+	}
+	if err := c.Store.Put(c.digest(experiment, t), b); err != nil {
+		c.putErrors.Add(1)
+	}
+}

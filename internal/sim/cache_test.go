@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"edcache/internal/store"
+)
+
+// gridExperiment is a deterministic 2-metric grid for cache tests.
+func gridExperiment(name string, n int) Def {
+	return Def{
+		ExpName: name,
+		GridFn: func() []Task {
+			tasks := make([]Task, n)
+			for i := range tasks {
+				tasks[i] = Task{Label: fmt.Sprintf("cell-%02d", i), Params: P("i", fmt.Sprint(i))}
+			}
+			return tasks
+		},
+		RunFn: func(t Task, rng *rand.Rand) (Result, error) {
+			return Result{
+				Metrics: []Metric{
+					Num("draw", float64(rng.Int63())),
+					Fmt("pct", float64(t.ID)*1.5, "%.1f%%"),
+				},
+				Detail: "detail for " + t.Label,
+			}, nil
+		},
+	}
+}
+
+func TestEncodeDecodeResultRoundTrip(t *testing.T) {
+	r := Result{
+		Experiment: "exp",
+		Task:       Task{ID: 3, Label: "cell", Params: P("k", "v"), Seed: 99},
+		Metrics: []Metric{
+			Num("plain", 0.1+0.2), // a value with no short decimal form
+			FmtU("fancy", 12.5, "pJ/i", "%.2f"),
+			Str("note", "text only"),
+		},
+		Detail: "free-form\nblock",
+	}
+	b, ok := EncodeResult(r)
+	if !ok {
+		t.Fatal("plain result not encodable")
+	}
+	got, err := DecodeResult(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed carries json:"-" and is restamped from the live grid on hit,
+	// so it is the one field allowed to differ.
+	r.Task.Seed = 0
+	if !reflect.DeepEqual(got, r) {
+		t.Fatalf("round trip changed result:\n got %+v\nwant %+v", got, r)
+	}
+}
+
+func TestEncodeResultRefusesLossyResults(t *testing.T) {
+	if _, ok := EncodeResult(Result{Metrics: []Metric{Num("nan", math.NaN())}}); ok {
+		t.Fatal("NaN metric encoded; it cannot round-trip through JSON")
+	}
+	if _, ok := EncodeResult(Result{Metrics: []Metric{Num("inf", math.Inf(1))}}); ok {
+		t.Fatal("Inf metric encoded")
+	}
+	type unregistered struct{ X int }
+	if _, ok := EncodeResult(Result{Data: unregistered{1}}); ok {
+		t.Fatal("unregistered Data payload encoded; Finish hooks would lose it on resume")
+	}
+}
+
+type testPayload struct {
+	Name  string
+	Score float64
+}
+
+func TestRegisteredPayloadRoundTrips(t *testing.T) {
+	RegisterPayload[testPayload]("sim.testPayload")
+	RegisterPayload[testPayload]("sim.testPayload") // idempotent
+	r := Result{Metrics: []Metric{Num("m", 1)}, Data: testPayload{Name: "p", Score: 2.5}}
+	b, ok := EncodeResult(r)
+	if !ok {
+		t.Fatal("registered payload not encodable")
+	}
+	got, err := DecodeResult(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, isTyped := got.Data.(testPayload)
+	if !isTyped || p != (testPayload{Name: "p", Score: 2.5}) {
+		t.Fatalf("payload lost its type: %#v", got.Data)
+	}
+}
+
+func newStoreCache(t *testing.T, read bool) *StoreCache {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &StoreCache{Store: st, Scope: []string{"mod@test", "opts", "seed=0"}, Read: read}
+}
+
+func TestStoreCacheWarmRunIsByteIdentical(t *testing.T) {
+	e := gridExperiment("cached", 12)
+	cold, err := Runner{Workers: 3}.Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := newStoreCache(t, true)
+	first, err := Runner{Workers: 3, Cache: cache}.Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, cold) {
+		t.Fatal("store-backed run differs from plain run")
+	}
+	if st := cache.Stats(); st.Hits != 0 {
+		t.Fatalf("fresh store produced hits: %+v", st)
+	}
+
+	// Second run over the same store: all hits, identical bytes, for
+	// every worker count.
+	for _, workers := range []int{1, 4} {
+		warmCache := &StoreCache{Store: cache.Store, Scope: cache.Scope, Read: true}
+		warm, err := Runner{Workers: workers, Cache: warmCache}.Run(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(warm, cold) {
+			t.Fatalf("workers=%d: warm run differs from cold run", workers)
+		}
+		if st := warmCache.Stats(); st.Hits != 12 || st.Misses != 0 {
+			t.Fatalf("workers=%d: warm run stats %+v, want 12 hits", workers, st)
+		}
+	}
+}
+
+func TestStoreCacheReadGateOff(t *testing.T) {
+	cache := newStoreCache(t, false)
+	e := gridExperiment("writeonly", 4)
+	if _, err := (Runner{Workers: 2, Cache: cache}).Run(e); err != nil {
+		t.Fatal(err)
+	}
+	// Entries were written...
+	reader := &StoreCache{Store: cache.Store, Scope: cache.Scope, Read: true}
+	if _, err := (Runner{Workers: 2, Cache: reader}).Run(e); err != nil {
+		t.Fatal(err)
+	}
+	if st := reader.Stats(); st.Hits != 4 {
+		t.Fatalf("write-only run did not checkpoint: %+v", st)
+	}
+	// ...but the write-only cache itself never served one.
+	if st := cache.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("read-gated cache did lookups: %+v", st)
+	}
+}
+
+func TestStoreCacheScopeIsolatesRuns(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := gridExperiment("scoped", 4)
+	a := &StoreCache{Store: st, Scope: []string{"mod@v1", "opts", "seed=0"}, Read: true}
+	if _, err := (Runner{Workers: 2, Cache: a}).Run(e); err != nil {
+		t.Fatal(err)
+	}
+	// Different options scope: same store, zero hits.
+	b := &StoreCache{Store: st, Scope: []string{"mod@v1", "opts'", "seed=0"}, Read: true}
+	if _, err := (Runner{Workers: 2, Cache: b}).Run(e); err != nil {
+		t.Fatal(err)
+	}
+	if stats := b.Stats(); stats.Hits != 0 || stats.Misses != 4 {
+		t.Fatalf("scope change leaked hits: %+v", stats)
+	}
+}
+
+// TestInterruptedSweepResumesByteIdentical is the engine-level resume
+// contract: cancel a checkpointing sweep partway, then rerun it over
+// the same store — the resumed run must serve the checkpointed prefix
+// as hits and produce results byte-identical to an uninterrupted run,
+// at a different worker count.
+func TestInterruptedSweepResumesByteIdentical(t *testing.T) {
+	slow := Def{
+		ExpName: "resume",
+		GridFn:  gridExperiment("resume", 24).GridFn,
+		RunFn: func(tk Task, rng *rand.Rand) (Result, error) {
+			time.Sleep(2 * time.Millisecond)
+			return gridExperiment("resume", 24).RunFn(tk, rng)
+		},
+	}
+	want, err := Runner{Workers: 2}.Run(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := newStoreCache(t, true)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	partial, err := Runner{Workers: 2, Cache: cache}.RunContext(ctx, slow)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: want context.Canceled, got %v", err)
+	}
+	if len(partial) == 0 || len(partial) >= 24 {
+		t.Fatalf("want a partial sweep, got %d of 24 results", len(partial))
+	}
+
+	resumed := &StoreCache{Store: cache.Store, Scope: cache.Scope, Read: true}
+	got, err := Runner{Workers: 7, Cache: resumed}.Run(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("resumed sweep differs from uninterrupted run")
+	}
+	if st := resumed.Stats(); st.Hits == 0 {
+		t.Fatalf("resume recomputed everything: %+v", st)
+	}
+}

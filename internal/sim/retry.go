@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"time"
+)
+
+// PanicError is a per-task panic the Runner converted into an error:
+// one panicking grid point fails its task (naming the experiment and
+// grid point via the Runner's usual wrapping) instead of killing the
+// whole process and every in-flight sibling task with it.
+type PanicError struct {
+	// Value is what the task passed to panic().
+	Value any
+	// Stack is the panicking goroutine's stack at recovery time.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v\n%s", e.Value, e.Stack)
+}
+
+// transientError marks an error as retryable; see Transient.
+type transientError struct{ err error }
+
+// Error implements error.
+func (e *transientError) Error() string { return e.err.Error() }
+
+// Unwrap exposes the marked error to errors.Is/As.
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient marks err as transient: a task returning it is retried (up
+// to Runner.Retries times, with deterministic exponential backoff)
+// before the failure becomes final. Use it for failures that can heal
+// on their own — an overloaded filesystem, a flaky trace mount — never
+// for deterministic ones, which would just fail Retries+1 times.
+// Marking nil returns nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether any error in the chain was marked by
+// Transient. Panics are never transient.
+func IsTransient(err error) bool {
+	var te *transientError
+	return errors.As(err, &te)
+}
+
+// backoff returns the delay before retry number attempt (0-based): an
+// exponential of base, scaled by a jitter factor in [0.5, 1.5) drawn
+// from jr. The caller seeds jr from (master seed, experiment, task), so
+// the whole retry schedule is deterministic for a fixed seed — the same
+// discipline as every other random draw in the engine.
+func backoff(base time.Duration, attempt int, jr *rand.Rand) time.Duration {
+	if attempt > 20 { // beyond 2^20·base the cap keeps the shift sane
+		attempt = 20
+	}
+	d := base << uint(attempt)
+	return time.Duration(float64(d) * (0.5 + jr.Float64()))
+}
+
+// sleepCtx sleeps for d unless the context is cancelled first; it
+// reports whether the full sleep happened.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// runShielded invokes the experiment's Run with a panic shield: a
+// panicking grid point comes back as a *PanicError carrying the stack,
+// so the worker pool — and sibling tasks — keep running.
+func runShielded(e Experiment, t Task, rng *rand.Rand) (res Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Value: p, Stack: debug.Stack()}
+		}
+	}()
+	return e.Run(t, rng)
+}

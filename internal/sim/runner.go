@@ -1,11 +1,13 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // Runner executes an experiment's parameter grid on a worker pool.
@@ -14,12 +16,36 @@ import (
 // its result into the slot indexed by the task ID, so the collected
 // slice — and everything derived from it (Finish summaries, sink
 // output) — is identical for any worker count.
+//
+// The Runner is fault-tolerant by construction: a panicking grid point
+// becomes an error naming the point (the pool survives), errors marked
+// Transient are retried with deterministic seeded backoff, a cancelled
+// context drains the pool without leaking goroutines, and a configured
+// Cache checkpoints every completed task so an interrupted sweep
+// resumes with hits. None of this changes the determinism contract:
+// byte-identical output for any worker count, with or without a warm
+// cache.
 type Runner struct {
 	// Workers is the pool size; ≤ 0 means runtime.GOMAXPROCS(0).
 	Workers int
 	// Seed is the master seed every per-task RNG derives from. Zero is
 	// a valid (and the default) fixed seed.
 	Seed int64
+
+	// Retries is how many times a task whose error is marked Transient
+	// is re-attempted (with a fresh identically-seeded RNG, so a retry
+	// that succeeds is byte-identical to a first try that did) before
+	// the failure is final. Zero disables retries.
+	Retries int
+	// RetryBase is the base backoff delay before retry k:
+	// RetryBase·2^k scaled by deterministic jitter in [0.5, 1.5).
+	// ≤ 0 means 50ms.
+	RetryBase time.Duration
+
+	// Cache, when non-nil, is consulted before each task runs and
+	// written after it completes — the durable-resume hook (see
+	// StoreCache). Cache hits bypass Run entirely.
+	Cache ResultCache
 }
 
 // workers returns the effective pool size for n tasks.
@@ -39,25 +65,114 @@ func (r Runner) workers(n int) int {
 
 // Run executes every task of the experiment's grid and returns the
 // results in grid order, then applies the experiment's Finish hook if
-// it has one. The first task error (by grid index) aborts the run.
+// it has one. The first task error (by grid index among the tasks that
+// ran) aborts the run. Equivalent to RunContext with a background
+// context.
 func (r Runner) Run(e Experiment) ([]Result, error) {
+	return r.RunContext(context.Background(), e)
+}
+
+// RunContext is Run under a context. Cancellation stops new tasks from
+// being dispatched, lets in-flight tasks finish (and checkpoint), and
+// drains every worker before returning — no goroutine outlives the
+// call. On any failure — a task error, a recovered panic, or
+// cancellation — RunContext returns the results that DID complete, in
+// grid order, alongside the error, so drivers can flush partial output
+// instead of abandoning it; the Finish hook only runs on complete,
+// error-free grids, where its aggregates are meaningful.
+//
+// The first failing task cancels dispatch, and the reported error is
+// the lowest-grid-index failure among the tasks that ran, wrapped to
+// name the experiment and grid point.
+func (r Runner) RunContext(ctx context.Context, e Experiment) ([]Result, error) {
 	tasks := e.Grid()
-	results, err := Map(r.workers(len(tasks)), len(tasks), func(i int) (Result, error) {
+	n := len(tasks)
+	results := make([]Result, n)
+	done := make([]bool, n)
+	errs := make([]error, n)
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	runOne := func(i int) {
 		t := tasks[i]
 		t.ID = i
 		t.Seed = SubSeed(r.Seed, e.Name(), i)
-		res, err := e.Run(t, rand.New(rand.NewSource(t.Seed)))
+		if r.Cache != nil {
+			if res, ok := r.Cache.Get(e.Name(), t); ok {
+				// Re-stamp the live coordinates: the digest guarantees
+				// they match, and stamping makes that impossible to
+				// get wrong even for a hand-rolled cache.
+				res.Experiment = e.Name()
+				res.Task = t
+				results[i], done[i] = res, true
+				return
+			}
+		}
+		res, err := r.attempt(runCtx, e, t)
 		if err != nil {
-			return Result{}, fmt.Errorf("%s [%s]: %w", e.Name(), t.Label, err)
+			errs[i] = err
+			cancel() // first failure stops dispatching new tasks
+			return
 		}
 		res.Experiment = e.Name()
 		res.Task = t
-		return res, nil
-	})
-	if err != nil {
-		return nil, err
+		results[i], done[i] = res, true
+		if r.Cache != nil {
+			r.Cache.Put(e.Name(), t, res)
+		}
 	}
+
+	if workers := r.workers(n); workers == 1 {
+		for i := 0; i < n && runCtx.Err() == nil; i++ {
+			runOne(i)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					runOne(i)
+				}
+			}()
+		}
+	feed:
+		for i := 0; i < n; i++ {
+			select {
+			case jobs <- i:
+			case <-runCtx.Done():
+				break feed
+			}
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	var firstErr error
+	for _, err := range errs {
+		if err != nil {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
+	if firstErr != nil {
+		partial := results[:0:0]
+		for i, ok := range done {
+			if ok {
+				partial = append(partial, results[i])
+			}
+		}
+		return partial, firstErr
+	}
+
 	if f, ok := e.(Finisher); ok {
+		var err error
 		results, err = f.Finish(results)
 		if err != nil {
 			return nil, fmt.Errorf("%s: finish: %w", e.Name(), err)
@@ -71,20 +186,60 @@ func (r Runner) Run(e Experiment) ([]Result, error) {
 	return results, nil
 }
 
+// attempt runs one task through the panic shield and the transient-
+// retry loop. Every attempt gets a fresh RNG from the same task seed,
+// so a task that succeeds on retry k is byte-identical to one that
+// succeeded immediately — retries are invisible to the determinism
+// contract. The backoff schedule itself is seeded from (master seed,
+// experiment, task), never from the wall clock.
+func (r Runner) attempt(ctx context.Context, e Experiment, t Task) (Result, error) {
+	base := r.RetryBase
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	var jr *rand.Rand
+	for attempt := 0; ; attempt++ {
+		res, err := runShielded(e, t, rand.New(rand.NewSource(t.Seed)))
+		if err == nil {
+			return res, nil
+		}
+		wrapped := fmt.Errorf("%s [%s]: %w", e.Name(), t.Label, err)
+		if attempt >= r.Retries || !IsTransient(err) {
+			return Result{}, wrapped
+		}
+		if jr == nil {
+			jr = rand.New(rand.NewSource(SubSeed(r.Seed, e.Name()+"/retry", t.ID)))
+		}
+		if !sleepCtx(ctx, backoff(base, attempt, jr)) {
+			return Result{}, wrapped // cancelled mid-backoff: fail with the last error
+		}
+	}
+}
+
 // RunAll runs the named experiments from the registry in order and
-// returns the concatenated results.
+// returns the concatenated results. Equivalent to RunAllContext with a
+// background context.
 func (r Runner) RunAll(reg *Registry, names []string) ([]Result, error) {
+	return r.RunAllContext(context.Background(), reg, names)
+}
+
+// RunAllContext is RunAll under a context. On failure it returns every
+// result completed so far — full experiments plus the failing one's
+// completed prefix — alongside the error, so a driver can flush what a
+// long sweep did manage to compute (and, with a Cache, has already
+// checkpointed) before exiting non-zero.
+func (r Runner) RunAllContext(ctx context.Context, reg *Registry, names []string) ([]Result, error) {
 	var out []Result
 	for _, name := range names {
 		e, ok := reg.Get(name)
 		if !ok {
-			return nil, fmt.Errorf("sim: unknown experiment %q", name)
+			return out, fmt.Errorf("sim: unknown experiment %q", name)
 		}
-		res, err := r.Run(e)
-		if err != nil {
-			return nil, err
-		}
+		res, err := r.RunContext(ctx, e)
 		out = append(out, res...)
+		if err != nil {
+			return out, err
+		}
 	}
 	return out, nil
 }

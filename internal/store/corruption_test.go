@@ -1,0 +1,93 @@
+package store
+
+// The corruption sweep: every byte of an on-disk entry is flipped —
+// and the entry truncated at every length, and extended — and Get must
+// report a miss each time: no panic, no wrong payload, because the
+// CRC32C covers header and payload alike. Mirrors the exhaustive
+// every-byte sweeps the trace layer's corruption suite runs.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeRaw replaces the digest's entry file with raw bytes, creating
+// the shard if the store has never written it.
+func writeRaw(t *testing.T, s *Store, d Digest, raw []byte) {
+	t.Helper()
+	path := s.entryPath(d)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptionEveryByteFlip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDigest("flip-target")
+	payload := bytes.Repeat([]byte("result row "), 6)
+	entry := encodeEntry(payload)
+	for i := range entry {
+		damaged := bytes.Clone(entry)
+		damaged[i] ^= 0xFF
+		writeRaw(t, s, d, damaged)
+		if got, ok := s.Get(d); ok {
+			t.Fatalf("byte %d flipped: served %q", i, got)
+		}
+	}
+	// Control: the pristine entry still decodes after the sweep.
+	writeRaw(t, s, d, entry)
+	if got, ok := s.Get(d); !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("pristine entry after sweep: ok=%v %q", ok, got)
+	}
+}
+
+func TestCorruptionEveryTruncation(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDigest("truncate-target")
+	entry := encodeEntry([]byte("a modest payload"))
+	for n := 0; n < len(entry); n++ {
+		writeRaw(t, s, d, entry[:n])
+		if got, ok := s.Get(d); ok {
+			t.Fatalf("truncated to %d bytes: served %q", n, got)
+		}
+	}
+	// One byte appended is as invalid as one missing.
+	writeRaw(t, s, d, append(bytes.Clone(entry), 0x00))
+	if got, ok := s.Get(d); ok {
+		t.Fatalf("extended entry served %q", got)
+	}
+	writeRaw(t, s, d, entry)
+	if _, ok := s.Get(d); !ok {
+		t.Fatal("pristine entry after truncation sweep is a miss")
+	}
+}
+
+func TestCorruptionNeverReturnsWrongPayloadUnderGarbage(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDigest("garbage-target")
+	for _, raw := range [][]byte{
+		nil,
+		[]byte("not an entry at all"),
+		bytes.Repeat([]byte{0xFF}, 1024),
+		encodeEntry(nil)[:entryHeader], // header only, CRC gone
+	} {
+		writeRaw(t, s, d, raw)
+		if got, ok := s.Get(d); ok {
+			t.Fatalf("garbage %d bytes served as %q", len(raw), got)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"runtime/debug"
+)
+
+// Digest is a content address: SHA-256 over the length-prefixed parts
+// that define a result (module version, experiment, canonical options,
+// seed, grid point). Two runs that would compute the same bytes derive
+// the same digest; anything that could change the bytes must be a part.
+type Digest [sha256.Size]byte
+
+// NewDigest hashes the parts with an unambiguous length-prefixed
+// framing, so ("ab","c") and ("a","bc") — or a part containing a
+// separator — can never collide.
+func NewDigest(parts ...string) Digest {
+	h := sha256.New()
+	var n [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write([]byte(p))
+	}
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// String is the lower-hex rendering (the on-disk file name).
+func (d Digest) String() string { return hex.EncodeToString(d[:]) }
+
+// ModuleVersion identifies the code that computed a result, for use as
+// the leading digest part: module path and version plus, for source
+// builds, the VCS revision and dirty flag. Results are only shareable
+// between binaries built from identical code, so any of these changing
+// must invalidate the cache. Falls back to the module path alone when
+// build info is unavailable (e.g. some test binaries).
+func ModuleVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	v := bi.Main.Path + "@" + bi.Main.Version
+	var rev, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		}
+	}
+	if rev != "" {
+		v += fmt.Sprintf("+%s(dirty=%s)", rev, modified)
+	}
+	return v
+}

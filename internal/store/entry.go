@@ -1,0 +1,95 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// On-disk entry format (little-endian, mirroring the trace container's
+// conventions — docs/STORE.md is the normative spec):
+//
+//	[0:4)    magic "EDRS"
+//	[4:6)    format version (currently 1)
+//	[6:8)    reserved, must be zero
+//	[8:16)   payload length N
+//	[16:16+N) payload
+//	[16+N:20+N) CRC32C (Castagnoli) over bytes [0, 16+N)
+//
+// The checksum covers the header too, so a bit flip anywhere in the
+// entry — not just the payload — fails validation. Decoding never
+// panics and never returns a wrong payload: anything that does not
+// parse byte-exactly is ErrCorrupt (quarantined by the store) or
+// ErrVersion (an entry from a newer binary: unreadable, not damaged).
+
+const (
+	entryMagic    = "EDRS"
+	entryVersion  = 1
+	entryHeader   = 16
+	entryCRCBytes = 4
+	entryOverhead = entryHeader + entryCRCBytes
+
+	// maxPayload caps a single entry at 1 GiB. A length field beyond it
+	// is treated as corruption: no real result row is that large, and
+	// the cap stops a damaged length from driving a huge allocation.
+	maxPayload = 1 << 30
+)
+
+// Sentinel errors of the entry codec. Every rejection wraps one of
+// these, so callers and tests can classify failures with errors.Is.
+var (
+	// ErrCorrupt marks an entry that is structurally damaged: short,
+	// wrong magic, nonzero reserved bytes, length mismatch, or checksum
+	// failure. The store quarantines such entries and reports a miss.
+	ErrCorrupt = errors.New("store: corrupt entry")
+
+	// ErrVersion marks an entry written by an unknown (newer) format
+	// version. It is a miss but not damage, so it is left in place.
+	ErrVersion = errors.New("store: unsupported entry version")
+)
+
+// castagnoli is the CRC32C table (same polynomial as the trace layer).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeEntry frames a payload in the on-disk entry format.
+func encodeEntry(payload []byte) []byte {
+	buf := make([]byte, entryOverhead+len(payload))
+	copy(buf, entryMagic)
+	binary.LittleEndian.PutUint16(buf[4:], entryVersion)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(len(payload)))
+	copy(buf[entryHeader:], payload)
+	crc := crc32.Checksum(buf[:entryHeader+len(payload)], castagnoli)
+	binary.LittleEndian.PutUint32(buf[entryHeader+len(payload):], crc)
+	return buf
+}
+
+// decodeEntry validates a serialized entry and returns its payload. The
+// returned slice aliases data.
+func decodeEntry(data []byte) ([]byte, error) {
+	if len(data) < entryOverhead {
+		return nil, fmt.Errorf("%w: %d bytes, need at least %d", ErrCorrupt, len(data), entryOverhead)
+	}
+	if string(data[:4]) != entryMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != entryVersion {
+		return nil, fmt.Errorf("%w: version %d (this binary reads %d)", ErrVersion, v, entryVersion)
+	}
+	if r := binary.LittleEndian.Uint16(data[6:]); r != 0 {
+		return nil, fmt.Errorf("%w: reserved bytes %#04x nonzero", ErrCorrupt, r)
+	}
+	n := binary.LittleEndian.Uint64(data[8:])
+	if n > maxPayload {
+		return nil, fmt.Errorf("%w: payload length %d exceeds %d cap", ErrCorrupt, n, maxPayload)
+	}
+	if uint64(len(data)) != entryOverhead+n {
+		return nil, fmt.Errorf("%w: payload length %d but %d entry bytes", ErrCorrupt, n, len(data))
+	}
+	body := entryHeader + int(n)
+	want := binary.LittleEndian.Uint32(data[body:])
+	if got := crc32.Checksum(data[:body], castagnoli); got != want {
+		return nil, fmt.Errorf("%w: CRC32C %#08x, entry says %#08x", ErrCorrupt, got, want)
+	}
+	return data[entryHeader:body], nil
+}

@@ -1,0 +1,281 @@
+// Package errfs is a fault-injection filesystem for the store's
+// torture suite. It wraps a real store.FS, numbers every operation the
+// wrapped filesystem performs (each Create, Write, Sync, Close, Rename,
+// SyncDir, ... is one step), and lets a test script a fault at any
+// step: an injected error (ENOSPC, EIO), a torn write that persists
+// only a prefix of the buffer, or a crash — after which every
+// subsequent operation fails, modelling a process that died mid-write.
+//
+// The intended pattern is enumerate-then-inject: run the operation once
+// over a Recorder to learn its exact syscall trace, then re-run it once
+// per step with a fault injected at that step, reopening the directory
+// with a clean filesystem afterwards to assert the store's crash
+// guarantees. Because the wrapped filesystem is the real one, whatever
+// a partial run leaves on disk is exactly what a real crash would.
+package errfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sync"
+
+	"edcache/internal/store"
+)
+
+// Op names one kind of filesystem operation.
+type Op string
+
+// The operation kinds errfs distinguishes.
+const (
+	OpMkdirAll Op = "mkdirall"
+	OpCreate   Op = "create"
+	OpOpen     Op = "open"
+	OpRead     Op = "read"
+	OpWrite    Op = "write"
+	OpSync     Op = "sync"
+	OpClose    Op = "close"
+	OpRename   Op = "rename"
+	OpRemove   Op = "remove"
+	OpReadDir  Op = "readdir"
+	OpSyncDir  Op = "syncdir"
+)
+
+// ErrCrashed is what every operation returns once a crash fault fired:
+// the process is dead, nothing else reaches the disk.
+var ErrCrashed = errors.New("errfs: crashed")
+
+// Fault is what a script injects at one step.
+type Fault struct {
+	// Err, when non-nil, is returned by the faulted operation (ENOSPC,
+	// EIO, ...). The operation does not happen.
+	Err error
+	// Crash kills the filesystem at this step: the faulted operation
+	// does not happen (except for a torn prefix, below) and every
+	// subsequent operation returns ErrCrashed.
+	Crash bool
+	// TornBytes, meaningful for OpWrite faults, persists that many
+	// bytes of the buffer before the fault fires — a torn write.
+	TornBytes int
+}
+
+// Step is one recorded filesystem operation.
+type Step struct {
+	Op   Op
+	Path string
+}
+
+// String renders a step for torture-table names.
+func (s Step) String() string { return fmt.Sprintf("%s(%s)", s.Op, s.Path) }
+
+// FS wraps a base store.FS with step counting and scripted faults.
+// The zero value is unusable; use New.
+type FS struct {
+	base store.FS
+
+	mu      sync.Mutex
+	steps   []Step
+	crashed bool
+	script  func(step int, s Step) *Fault
+}
+
+// New wraps base. script may be nil (pure recorder); otherwise it is
+// consulted once per operation with the step index (0-based) and may
+// return a Fault to inject.
+func New(base store.FS, script func(step int, s Step) *Fault) *FS {
+	return &FS{base: base, script: script}
+}
+
+// FailAt returns a script injecting err at exactly step n.
+func FailAt(n int, err error) func(int, Step) *Fault {
+	return func(step int, _ Step) *Fault {
+		if step == n {
+			return &Fault{Err: err}
+		}
+		return nil
+	}
+}
+
+// CrashAt returns a script crashing at exactly step n.
+func CrashAt(n int) func(int, Step) *Fault {
+	return func(step int, _ Step) *Fault {
+		if step == n {
+			return &Fault{Crash: true}
+		}
+		return nil
+	}
+}
+
+// TornWriteAt returns a script that, at step n (which should be a
+// write), persists only prefix bytes and then crashes.
+func TornWriteAt(n, prefix int) func(int, Step) *Fault {
+	return func(step int, _ Step) *Fault {
+		if step == n {
+			return &Fault{Crash: true, TornBytes: prefix}
+		}
+		return nil
+	}
+}
+
+// Steps returns a copy of the recorded operation trace.
+func (f *FS) Steps() []Step {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Step, len(f.steps))
+	copy(out, f.steps)
+	return out
+}
+
+// Crashed reports whether a crash fault has fired.
+func (f *FS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// step records one operation and returns the fault to inject, if any.
+func (f *FS) step(op Op, path string) *Fault {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return &Fault{Err: ErrCrashed}
+	}
+	s := Step{Op: op, Path: path}
+	n := len(f.steps)
+	f.steps = append(f.steps, s)
+	if f.script == nil {
+		return nil
+	}
+	fault := f.script(n, s)
+	if fault != nil && fault.Crash {
+		f.crashed = true
+	}
+	return fault
+}
+
+// faultErr maps a fault to the error its operation returns.
+func faultErr(fault *Fault) error {
+	if fault.Err != nil {
+		return fault.Err
+	}
+	return ErrCrashed
+}
+
+// MkdirAll implements store.FS.
+func (f *FS) MkdirAll(path string, perm os.FileMode) error {
+	if fault := f.step(OpMkdirAll, path); fault != nil {
+		return faultErr(fault)
+	}
+	return f.base.MkdirAll(path, perm)
+}
+
+// Create implements store.FS.
+func (f *FS) Create(path string) (store.File, error) {
+	if fault := f.step(OpCreate, path); fault != nil {
+		return nil, faultErr(fault)
+	}
+	file, err := f.base.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, f: file, path: path}, nil
+}
+
+// Open implements store.FS.
+func (f *FS) Open(path string) (store.File, error) {
+	if fault := f.step(OpOpen, path); fault != nil {
+		return nil, faultErr(fault)
+	}
+	file, err := f.base.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, f: file, path: path}, nil
+}
+
+// Rename implements store.FS.
+func (f *FS) Rename(oldpath, newpath string) error {
+	if fault := f.step(OpRename, oldpath+" -> "+newpath); fault != nil {
+		return faultErr(fault)
+	}
+	return f.base.Rename(oldpath, newpath)
+}
+
+// Remove implements store.FS.
+func (f *FS) Remove(path string) error {
+	if fault := f.step(OpRemove, path); fault != nil {
+		return faultErr(fault)
+	}
+	return f.base.Remove(path)
+}
+
+// ReadDir implements store.FS.
+func (f *FS) ReadDir(path string) ([]fs.DirEntry, error) {
+	if fault := f.step(OpReadDir, path); fault != nil {
+		return nil, faultErr(fault)
+	}
+	return f.base.ReadDir(path)
+}
+
+// SyncDir implements store.FS.
+func (f *FS) SyncDir(path string) error {
+	if fault := f.step(OpSyncDir, path); fault != nil {
+		return faultErr(fault)
+	}
+	return f.base.SyncDir(path)
+}
+
+// faultFile threads reads, writes, syncs and closes of one open file
+// back through the owning FS's step counter.
+type faultFile struct {
+	fs   *FS
+	f    store.File
+	path string
+}
+
+// Read implements store.File.
+func (ff *faultFile) Read(p []byte) (int, error) {
+	if fault := ff.fs.step(OpRead, ff.path); fault != nil {
+		return 0, faultErr(fault)
+	}
+	return ff.f.Read(p)
+}
+
+// Write implements store.File. A torn-write fault persists the prefix
+// through the real file before failing, so the bytes genuinely land on
+// disk the way a torn page would.
+func (ff *faultFile) Write(p []byte) (int, error) {
+	if fault := ff.fs.step(OpWrite, ff.path); fault != nil {
+		n := 0
+		if fault.TornBytes > 0 {
+			torn := fault.TornBytes
+			if torn > len(p) {
+				torn = len(p)
+			}
+			n, _ = ff.f.Write(p[:torn])
+		}
+		return n, faultErr(fault)
+	}
+	return ff.f.Write(p)
+}
+
+// Sync implements store.File.
+func (ff *faultFile) Sync() error {
+	if fault := ff.fs.step(OpSync, ff.path); fault != nil {
+		return faultErr(fault)
+	}
+	return ff.f.Sync()
+}
+
+// Close implements store.File. Close always releases the real file
+// descriptor — even under a fault — so torture runs do not leak fds;
+// the injected error models the close's durability failing, not the
+// descriptor surviving.
+func (ff *faultFile) Close() error {
+	if fault := ff.fs.step(OpClose, ff.path); fault != nil {
+		ff.f.Close()
+		return faultErr(fault)
+	}
+	return ff.f.Close()
+}

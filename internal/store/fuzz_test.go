@@ -1,0 +1,43 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzEntry holds the entry codec to its two contracts under arbitrary
+// bytes: decoding never panics and classifies every failure as
+// ErrCorrupt or ErrVersion, and encode→decode round-trips any payload
+// byte-exactly. It joins the trace harnesses in CI's fuzz smoke.
+func FuzzEntry(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("EDRS"))
+	f.Add(encodeEntry(nil))
+	f.Add(encodeEntry([]byte("seed payload")))
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Arbitrary bytes: decode must classify, never panic.
+		payload, err := decodeEntry(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+				t.Fatalf("unclassified decode error: %v", err)
+			}
+		} else {
+			// A valid entry must re-encode to the identical bytes —
+			// the format has exactly one serialization per payload.
+			if !bytes.Equal(encodeEntry(payload), data) {
+				t.Fatalf("decode/encode not canonical for %d-byte entry", len(data))
+			}
+		}
+		// Any bytes used as a payload must round-trip.
+		enc := encodeEntry(data)
+		got, err := decodeEntry(enc)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("round trip changed payload: %d in, %d out", len(data), len(got))
+		}
+	})
+}

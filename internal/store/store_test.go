@@ -1,0 +1,233 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDigestDistinguishesPartBoundaries(t *testing.T) {
+	a := NewDigest("ab", "c")
+	b := NewDigest("a", "bc")
+	if a == b {
+		t.Fatal("length-prefixed framing failed: (ab,c) == (a,bc)")
+	}
+	if NewDigest("x") != NewDigest("x") {
+		t.Fatal("digest not deterministic")
+	}
+	if len(a.String()) != 64 || strings.ToLower(a.String()) != a.String() {
+		t.Fatalf("digest string %q not 64 lower-hex chars", a)
+	}
+}
+
+func TestEntryRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 4096)} {
+		enc := encodeEntry(payload)
+		got, err := decodeEntry(enc)
+		if err != nil {
+			t.Fatalf("decode(encode(%d bytes)): %v", len(payload), err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round trip changed payload: %d bytes in, %d out", len(payload), len(got))
+		}
+	}
+}
+
+func TestEntryVersionGate(t *testing.T) {
+	enc := encodeEntry([]byte("payload"))
+	enc[4] = 2 // future version
+	_, err := decodeEntry(enc)
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("future version: got %v, want ErrVersion", err)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Fatal("future version must not classify as corruption")
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDigest("mod", "exp", "opts", "seed", "task")
+	if _, ok := s.Get(d); ok {
+		t.Fatal("hit on empty store")
+	}
+	payload := []byte(`{"metrics":[1,2,3]}`)
+	if err := s.Put(d, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(d)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get after Put: ok=%v payload=%q", ok, got)
+	}
+
+	// A reopened store serves the same entry.
+	s2, err := Open(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok = s2.Get(d)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get after reopen: ok=%v payload=%q", ok, got)
+	}
+	st := s2.Stats()
+	if st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("stats after one hit: %+v", st)
+	}
+}
+
+func TestStorePutOverwritesIdempotently(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDigest("k")
+	for i := 0; i < 3; i++ {
+		if err := s.Put(d, []byte("same bytes")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, ok := s.Get(d); !ok || string(got) != "same bytes" {
+		t.Fatalf("after repeated Put: ok=%v %q", ok, got)
+	}
+}
+
+func TestStoreQuarantinesCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDigest("victim")
+	if err := s.Put(d, []byte("precious result")); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte on disk.
+	path := s.entryPath(d)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[entryHeader] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := s.Get(d); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Fatalf("expected 1 quarantined, stats %+v", st)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry still at %s (err %v)", path, err)
+	}
+	qpath := filepath.Join(dir, quarantineDir, d.String()+entryExt)
+	if _, err := os.Stat(qpath); err != nil {
+		t.Fatalf("quarantined entry not at %s: %v", qpath, err)
+	}
+	// The store stays usable: a fresh Put of the same digest hits again.
+	if err := s.Put(d, []byte("recomputed")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(d); !ok || string(got) != "recomputed" {
+		t.Fatalf("after requarantine+Put: ok=%v %q", ok, got)
+	}
+}
+
+func TestStoreFutureVersionIsMissNotQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDigest("future")
+	if err := s.Put(d, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	path := s.entryPath(d)
+	data := encodeEntry([]byte("payload"))
+	// Stamp a future version. The CRC (computed over version-1 bytes)
+	// no longer matches, but the version gate runs first — that
+	// ordering is what keeps new-format entries out of quarantine.
+	data[4] = 9
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(d); ok {
+		t.Fatal("future-version entry served")
+	}
+	if st := s.Stats(); st.Quarantined != 0 {
+		t.Fatalf("future-version entry quarantined: %+v", st)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("future-version entry moved: %v", err)
+	}
+}
+
+func TestOpenSweepsOrphanedTmpFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDigest("live")
+	if err := s.Put(d, []byte("keep me")); err != nil {
+		t.Fatal(err)
+	}
+	shard := filepath.Dir(s.entryPath(d))
+	orphan := filepath.Join(shard, d.String()+".42.tmp")
+	if err := os.WriteFile(orphan, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphan tmp not swept: %v", err)
+	}
+	if got, ok := s.Get(d); !ok || string(got) != "keep me" {
+		t.Fatalf("sweep damaged live entry: ok=%v %q", ok, got)
+	}
+}
+
+func TestStoreConcurrentPutGet(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	done := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			d := NewDigest("concurrent", string(rune('a'+i%8)))
+			payload := bytes.Repeat([]byte{byte(i % 8)}, 128)
+			if err := s.Put(d, payload); err != nil {
+				done <- err
+				return
+			}
+			got, ok := s.Get(d)
+			if !ok || !bytes.Equal(got, payload) {
+				done <- errors.New("readback mismatch")
+				return
+			}
+			done <- nil
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestModuleVersionNonEmpty(t *testing.T) {
+	if ModuleVersion() == "" {
+		t.Fatal("empty module version")
+	}
+}

@@ -1,0 +1,196 @@
+package store_test
+
+// The crash-safety torture suite, in the mold of the trace layer's
+// corruption suite (PR 7): enumerate every filesystem operation the
+// store performs across its lifecycle (open, checkpoint, lookup), then
+// re-run the lifecycle once per operation with a fault injected at
+// exactly that point — a process crash, a torn write that persists only
+// a prefix, ENOSPC, or EIO — and prove that a store reopened afterwards
+// on a clean filesystem either serves the exact payload or reports a
+// miss, never a torn result, and remains fully usable. The overwrite
+// variant additionally proves a faulted re-Put leaves either the old or
+// the new entry byte-exactly, never a blend.
+
+import (
+	"bytes"
+	"fmt"
+	"syscall"
+	"testing"
+
+	"edcache/internal/store"
+	"edcache/internal/store/errfs"
+)
+
+var (
+	tortureDigest  = store.NewDigest("mod@v1", "corpus", "opts", "seed=0", "task 3")
+	torturePayload = []byte(`{"experiment":"corpus","metrics":[{"name":"base_epi","value":42.125}]}`)
+)
+
+// lifecycle is the operation sequence under torture: open the store,
+// checkpoint one result, look it up. Errors are tolerated — under
+// injection they are the point — but never panics.
+func lifecycle(fsys store.FS, dir string, payload []byte) {
+	s, err := store.OpenFS(fsys, dir)
+	if err != nil {
+		return
+	}
+	_ = s.Put(tortureDigest, payload)
+	_, _ = s.Get(tortureDigest)
+}
+
+// recordSteps enumerates the lifecycle's syscall trace on a clean run.
+func recordSteps(t *testing.T, prep func(dir string)) []errfs.Step {
+	t.Helper()
+	dir := t.TempDir()
+	if prep != nil {
+		prep(dir)
+	}
+	rec := errfs.New(store.OSFS{}, nil)
+	lifecycle(rec, dir, torturePayload)
+	steps := rec.Steps()
+	if len(steps) < 8 { // open sweep + create/write/sync/close/rename/syncdir + get
+		t.Fatalf("recorded only %d steps: %v", len(steps), steps)
+	}
+	return steps
+}
+
+// assertRecovered reopens dir with the real filesystem and holds the
+// store to its contract: the digest is a miss or the exact payload
+// (one of wants), and the store still accepts and serves a fresh Put.
+func assertRecovered(t *testing.T, dir string, wants ...[]byte) {
+	t.Helper()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after fault: %v", err)
+	}
+	if got, ok := s.Get(tortureDigest); ok {
+		match := false
+		for _, w := range wants {
+			if bytes.Equal(got, w) {
+				match = true
+				break
+			}
+		}
+		if !match {
+			t.Fatalf("recovered store served torn payload %q", got)
+		}
+	}
+	if err := s.Put(tortureDigest, torturePayload); err != nil {
+		t.Fatalf("recovered store rejects Put: %v", err)
+	}
+	if got, ok := s.Get(tortureDigest); !ok || !bytes.Equal(got, torturePayload) {
+		t.Fatalf("recovered store can't serve fresh Put: ok=%v %q", ok, got)
+	}
+}
+
+// TestTortureFaultAtEveryStep injects each fault flavor at every
+// recorded syscall boundary of the open→Put→Get lifecycle on an empty
+// store.
+func TestTortureFaultAtEveryStep(t *testing.T) {
+	steps := recordSteps(t, nil)
+	faults := []struct {
+		name   string
+		script func(int) func(int, errfs.Step) *errfs.Fault
+	}{
+		{"crash", func(i int) func(int, errfs.Step) *errfs.Fault { return errfs.CrashAt(i) }},
+		{"enospc", func(i int) func(int, errfs.Step) *errfs.Fault {
+			return errfs.FailAt(i, syscall.ENOSPC)
+		}},
+		{"eio", func(i int) func(int, errfs.Step) *errfs.Fault {
+			return errfs.FailAt(i, syscall.EIO)
+		}},
+	}
+	for _, fault := range faults {
+		fault := fault
+		t.Run(fault.name, func(t *testing.T) {
+			for i, step := range steps {
+				i := i
+				t.Run(fmt.Sprintf("step%02d-%s", i, step.Op), func(t *testing.T) {
+					dir := t.TempDir()
+					lifecycle(errfs.New(store.OSFS{}, fault.script(i)), dir, torturePayload)
+					assertRecovered(t, dir, torturePayload)
+				})
+			}
+		})
+	}
+}
+
+// TestTortureTornWriteAtEveryPrefix crashes during the entry write
+// after persisting 1, half, and all-but-one bytes of the buffer; a
+// reopened store must treat every prefix as a miss.
+func TestTortureTornWriteAtEveryPrefix(t *testing.T) {
+	steps := recordSteps(t, nil)
+	entryLen := len(torturePayload) + 20 // header + payload + CRC
+	for i, step := range steps {
+		if step.Op != errfs.OpWrite {
+			continue
+		}
+		for _, prefix := range []int{1, entryLen / 2, entryLen - 1} {
+			i, prefix := i, prefix
+			t.Run(fmt.Sprintf("step%02d-write-torn%d", i, prefix), func(t *testing.T) {
+				dir := t.TempDir()
+				lifecycle(errfs.New(store.OSFS{}, errfs.TornWriteAt(i, prefix)), dir, torturePayload)
+				assertRecovered(t, dir, torturePayload)
+			})
+		}
+	}
+}
+
+// TestTortureOverwritePreservesOldOrNew re-Puts an existing digest with
+// different bytes and crashes at every step: the reopened store must
+// serve exactly the old or exactly the new payload.
+func TestTortureOverwritePreservesOldOrNew(t *testing.T) {
+	oldPayload := []byte(`{"v":"old result, previously durable"}`)
+	seed := func(dir string) {
+		s, err := store.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Put(tortureDigest, oldPayload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	steps := recordSteps(t, seed)
+	for i, step := range steps {
+		i := i
+		t.Run(fmt.Sprintf("step%02d-%s", i, step.Op), func(t *testing.T) {
+			dir := t.TempDir()
+			seed(dir)
+			lifecycle(errfs.New(store.OSFS{}, errfs.CrashAt(i)), dir, torturePayload)
+			assertRecovered(t, dir, oldPayload, torturePayload)
+		})
+	}
+}
+
+// TestTortureNeighborEntrySurvives injects a crash at every step of a
+// faulted Put while an unrelated entry already exists; the neighbor
+// must stay byte-exact throughout.
+func TestTortureNeighborEntrySurvives(t *testing.T) {
+	neighbor := store.NewDigest("mod@v1", "corpus", "opts", "seed=0", "task 0")
+	neighborPayload := []byte(`{"v":"the neighbor"}`)
+	seed := func(dir string) {
+		s, err := store.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Put(neighbor, neighborPayload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	steps := recordSteps(t, seed)
+	for i, step := range steps {
+		i := i
+		t.Run(fmt.Sprintf("step%02d-%s", i, step.Op), func(t *testing.T) {
+			dir := t.TempDir()
+			seed(dir)
+			lifecycle(errfs.New(store.OSFS{}, errfs.CrashAt(i)), dir, torturePayload)
+			s, err := store.Open(dir)
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			if got, ok := s.Get(neighbor); !ok || !bytes.Equal(got, neighborPayload) {
+				t.Fatalf("neighbor damaged by faulted Put: ok=%v %q", ok, got)
+			}
+		})
+	}
+}
