@@ -1,0 +1,239 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"edcache/internal/cli"
+	"edcache/internal/edcached"
+	"edcache/internal/sim"
+)
+
+// syncBuffer is a goroutine-safe stdout sink for a runCtx running in
+// the background.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestServerModeRequiresData(t *testing.T) {
+	err := runCtx(context.Background(), nil, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-data") {
+		t.Fatalf("server mode without -data accepted (err=%v)", err)
+	}
+}
+
+func TestBadFlagsSurfaceAsErrBadFlags(t *testing.T) {
+	if err := runCtx(context.Background(), []string{"-no-such-flag"}, io.Discard); !errors.Is(err, cli.ErrBadFlags) {
+		t.Fatalf("want ErrBadFlags, got %v", err)
+	}
+}
+
+// startServer launches runCtx in the background on an ephemeral port
+// and returns the base URL plus a shutdown func that drains it and
+// checks the exit error.
+func startServer(t *testing.T, extra ...string) (base string, out *syncBuffer, shutdown func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	out = &syncBuffer{}
+	args := append([]string{"-data", t.TempDir(), "-listen", "127.0.0.1:0"}, extra...)
+	done := make(chan error, 1)
+	go func() { done <- runCtx(ctx, args, out) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if s := out.String(); strings.Contains(s, "listening on ") {
+			line := s[strings.Index(s, "listening on ")+len("listening on "):]
+			base = "http://" + strings.TrimSpace(strings.SplitN(line, "\n", 2)[0])
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("server exited before listening: %v\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never printed its address:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return base, out, func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("server exit: %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Error("server did not drain after cancel")
+		}
+	}
+}
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func waitDone(t *testing.T, base, id string) edcached.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		code, body := getBody(t, base+"/jobs/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("job status %d: %s", code, body)
+		}
+		var st edcached.JobStatus
+		if err := json.Unmarshal([]byte(body), &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State.Terminal() {
+			if st.State != edcached.JobDone {
+				t.Fatalf("job ended %s: %s", st.State, st.Error)
+			}
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// submitHeadline posts the smoke job — the paper's headline table at a
+// toy instruction count — and returns the job ID and the JSON bytes a
+// solo in-process run of the same spec produces.
+func submitHeadline(t *testing.T, base string) (id string, want string) {
+	t.Helper()
+	spec := `{"experiment":"headline","seed":3,"options":{"instructions":2000},"shards":3}`
+	resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var st edcached.JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := edcached.DefaultRegistry(edcached.GridOptions{Instructions: 2000})
+	e, ok := reg.Get("headline")
+	if !ok {
+		t.Fatal("headline experiment missing from the default registry")
+	}
+	results, err := sim.Runner{Workers: 2, Seed: 3}.Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sink, err := sim.NewSink("json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Write(results); err != nil {
+		t.Fatal(err)
+	}
+	return st.ID, buf.String()
+}
+
+// TestServerSmoke drives the binary's driver end to end: boot on an
+// ephemeral port, health checks, a real job from the default registry,
+// result bytes identical to a solo run, graceful drain on ctx cancel.
+func TestServerSmoke(t *testing.T) {
+	base, out, shutdown := startServer(t, "-workers", "2", "-request-timeout", "30s")
+
+	if code, body := getBody(t, base+"/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz: %d %s", code, body)
+	}
+	if code, _ := getBody(t, base+"/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz: %d", code)
+	}
+
+	id, want := submitHeadline(t, base)
+	waitDone(t, base, id)
+	code, got := getBody(t, base+fmt.Sprintf("/jobs/%s/result?format=json", id))
+	if code != http.StatusOK {
+		t.Fatalf("result: %d %s", code, got)
+	}
+	if got != want {
+		t.Fatalf("service result differs from solo run:\n--- service\n%s\n--- solo\n%s", got, want)
+	}
+
+	shutdown()
+	if s := out.String(); !strings.Contains(s, "edcached: drained") {
+		t.Fatalf("drain line missing from output:\n%s", s)
+	}
+}
+
+// TestWorkerModeSmoke runs both CLI modes against each other: a server
+// with no in-process workers and a -worker process body claiming its
+// shards over HTTP. The job only finishes if the worker loop works.
+func TestWorkerModeSmoke(t *testing.T) {
+	base, _, shutdown := startServer(t, "-workers", "0", "-lease-ttl", "2s")
+	defer shutdown()
+
+	wctx, wcancel := context.WithCancel(context.Background())
+	defer wcancel()
+	workerDone := make(chan error, 1)
+	go func() {
+		workerDone <- runCtx(wctx, []string{"-worker", "-server", base,
+			"-name", "smoke-worker", "-poll", "10ms"}, io.Discard)
+	}()
+
+	id, want := submitHeadline(t, base)
+	waitDone(t, base, id)
+	_, got := getBody(t, base+fmt.Sprintf("/jobs/%s/result?format=json", id))
+	if got != want {
+		t.Fatal("worker-computed result differs from solo run")
+	}
+	// The job is terminal, so the event stream replays and ends; every
+	// lease must name the external worker (the server has none of its own).
+	_, events := getBody(t, base+fmt.Sprintf("/jobs/%s/events", id))
+	if !strings.Contains(events, `"what":"leased","worker":"smoke-worker"`) {
+		t.Fatalf("no lease event names the external worker:\n%s", events)
+	}
+
+	wcancel()
+	select {
+	case err := <-workerDone:
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("worker exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not stop on ctx cancel")
+	}
+}

@@ -32,7 +32,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"strconv"
 	"strings"
 	"syscall"
@@ -48,11 +47,14 @@ func main() {
 	cli.Main("experiments", run, nil)
 }
 
-// run wires the process signals: Ctrl-C / SIGTERM cancel the sweep
-// context, the Runner drains its pool and checkpoints what finished,
-// and the partial results are flushed before the non-zero exit.
+// run wires the process signals: the first Ctrl-C / SIGTERM cancels the
+// sweep context — the Runner drains its pool, checkpoints what finished,
+// and the partial results are flushed before the non-zero exit. A second
+// signal means the drain itself is stuck (a huge in-flight task, a
+// wedged disk): print "forcing exit" and leave immediately with 130.
 func run(args []string, stdout io.Writer) error {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.SignalContext(context.Background(), cli.ForceExit("experiments"),
+		os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	return runCtx(ctx, args, stdout)
 }

@@ -1,17 +1,23 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"io/fs"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"sort"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"edcache/internal/bench"
+	"edcache/internal/cli"
 	"edcache/internal/trace"
 )
 
@@ -211,6 +217,78 @@ func TestTaskErrorFlushesCompletedResults(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "corpus,scenario=A") {
 		t.Fatalf("completed results were not flushed before the failure:\n%s", out.String())
+	}
+}
+
+// TestForceExitHelperProcess is not a test: re-exec'd by
+// TestSecondSignalForcesExit with EXPERIMENTS_FORCE_EXIT=1, it wires
+// run()'s exact signal protocol — cli.SignalContext with
+// cli.ForceExit("experiments") — around a drain that never finishes,
+// so the parent can drive the two-signal sequence against a real
+// process and observe the real exit status.
+func TestForceExitHelperProcess(t *testing.T) {
+	if os.Getenv("EXPERIMENTS_FORCE_EXIT") != "1" {
+		t.Skip("helper for TestSecondSignalForcesExit")
+	}
+	ctx, stop := cli.SignalContext(context.Background(), cli.ForceExit("experiments"),
+		os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Println("READY")
+	<-ctx.Done()
+	fmt.Println("DRAINING")
+	time.Sleep(time.Minute) // a drain stuck on an in-flight grid point
+	os.Exit(3)              // never reached when the force path works
+}
+
+// TestSecondSignalForcesExit pins the operator escape hatch: the first
+// SIGINT starts the graceful drain, the second prints "forcing exit"
+// and leaves with status 130 even though the drain is wedged.
+func TestSecondSignalForcesExit(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, "-test.run", "^TestForceExitHelperProcess$", "-test.v")
+	cmd.Env = append(os.Environ(), "EXPERIMENTS_FORCE_EXIT=1")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	killer := time.AfterFunc(30*time.Second, func() { cmd.Process.Kill() })
+	defer killer.Stop()
+
+	sc := bufio.NewScanner(out)
+	waitLine := func(want string) {
+		t.Helper()
+		for sc.Scan() {
+			if sc.Text() == want {
+				return
+			}
+		}
+		t.Fatalf("helper exited before printing %q (stderr: %s)", want, stderr.String())
+	}
+	waitLine("READY")
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	waitLine("DRAINING")
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	for sc.Scan() {
+	} // drain stdout so Wait can reap the pipe
+	err = cmd.Wait()
+	var exit *exec.ExitError
+	if !errors.As(err, &exit) || exit.ExitCode() != 130 {
+		t.Fatalf("want exit status 130, got %v (stderr: %s)", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "experiments: forcing exit") {
+		t.Fatalf("stderr missing the forcing-exit line:\n%s", stderr.String())
 	}
 }
 

@@ -5,11 +5,14 @@
 package cli
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"sync"
 )
 
 // ErrBadFlags marks a flag parse failure whose message the FlagSet has
@@ -27,6 +30,64 @@ func Parse(fs *flag.FlagSet, args []string) error {
 		return flag.ErrHelp
 	default:
 		return ErrBadFlags
+	}
+}
+
+// SignalContext returns a context cancelled by the first of the given
+// signals — the graceful path: the command drains, checkpoints, flushes
+// partial output — and invokes force on the second, so an operator whose
+// drain is stuck (a wedged filesystem, a huge in-flight task) can always
+// force the exit. This is the behaviour signal.NotifyContext cannot
+// express: it swallows repeated signals while the drain runs.
+//
+// In production force prints a line and calls os.Exit(130); tests inject
+// a recording func. The returned stop releases the signal registration
+// (after which signals regain their default disposition).
+func SignalContext(parent context.Context, force func(), sigs ...os.Signal) (ctx context.Context, stop context.CancelFunc) {
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, sigs...)
+	ctx, cancel := signalContext(parent, ch, force)
+	var once sync.Once
+	return ctx, func() {
+		once.Do(func() { signal.Stop(ch) })
+		cancel()
+	}
+}
+
+// signalContext is the testable core of SignalContext: the signal
+// source is an injected channel.
+func signalContext(parent context.Context, ch <-chan os.Signal, force func()) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	done := make(chan struct{})
+	var once sync.Once
+	stop := func() {
+		once.Do(func() { close(done) })
+		cancel()
+	}
+	go func() {
+		select {
+		case <-ch:
+			cancel() // first signal: graceful drain
+		case <-done:
+			return
+		case <-ctx.Done():
+			return // finished (or parent cancelled) before any signal
+		}
+		select {
+		case <-ch:
+			force() // second signal: the drain is not fast enough
+		case <-done:
+		}
+	}()
+	return ctx, stop
+}
+
+// ForceExit is the conventional second-signal handler: print who is
+// forcing the exit and leave with the shell's 128+SIGINT status.
+func ForceExit(name string) func() {
+	return func() {
+		fmt.Fprintf(os.Stderr, "%s: forcing exit\n", name)
+		os.Exit(130)
 	}
 }
 

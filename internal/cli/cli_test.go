@@ -1,10 +1,13 @@
 package cli
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"io"
+	"os"
 	"testing"
+	"time"
 )
 
 func newFS() *flag.FlagSet {
@@ -30,4 +33,75 @@ func TestParseBadFlag(t *testing.T) {
 	if err := Parse(newFS(), []string{"-bogus"}); !errors.Is(err, ErrBadFlags) {
 		t.Fatalf("Parse(-bogus) = %v, want ErrBadFlags", err)
 	}
+}
+
+// waitDone asserts the context cancels within a real-time budget.
+func waitDone(t *testing.T, ctx context.Context) {
+	t.Helper()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context not cancelled")
+	}
+}
+
+func TestSignalContextFirstSignalCancels(t *testing.T) {
+	ch := make(chan os.Signal, 2)
+	forced := make(chan struct{})
+	ctx, stop := signalContext(context.Background(), ch, func() { close(forced) })
+	defer stop()
+
+	if ctx.Err() != nil {
+		t.Fatal("cancelled before any signal")
+	}
+	ch <- os.Interrupt
+	waitDone(t, ctx)
+	select {
+	case <-forced:
+		t.Fatal("one signal forced the exit")
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func TestSignalContextSecondSignalForces(t *testing.T) {
+	ch := make(chan os.Signal, 2)
+	forced := make(chan struct{})
+	ctx, stop := signalContext(context.Background(), ch, func() { close(forced) })
+	defer stop()
+
+	ch <- os.Interrupt
+	waitDone(t, ctx)
+	ch <- os.Interrupt
+	select {
+	case <-forced:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second signal did not force")
+	}
+}
+
+func TestSignalContextStopDisarmsForce(t *testing.T) {
+	ch := make(chan os.Signal, 2)
+	forced := make(chan struct{})
+	ctx, stop := signalContext(context.Background(), ch, func() { close(forced) })
+
+	ch <- os.Interrupt
+	waitDone(t, ctx)
+	// The command finished its drain and called stop: a straggler signal
+	// (an operator's impatient second Ctrl-C racing the exit) must not
+	// fire the force path any more.
+	stop()
+	ch <- os.Interrupt
+	select {
+	case <-forced:
+		t.Fatal("force fired after stop")
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func TestSignalContextStopBeforeAnySignal(t *testing.T) {
+	ch := make(chan os.Signal, 2)
+	ctx, stop := signalContext(context.Background(), ch, func() { t.Error("force fired") })
+	stop()
+	waitDone(t, ctx) // stop cancels the context and retires the goroutine
+	stop()           // idempotent
 }

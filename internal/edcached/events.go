@@ -1,0 +1,90 @@
+package edcached
+
+import "sync"
+
+// eventLog is a job's append-only event history plus its live
+// subscribers. Streams replay the full history (or a suffix) and then
+// follow appends, so a client reconnecting after a dropped stream — or
+// after the server restarted and re-ran the job — misses nothing.
+type eventLog struct {
+	mu     sync.Mutex
+	events []Event
+	subs   map[chan struct{}]struct{}
+	closed bool
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{subs: make(map[chan struct{}]struct{})}
+}
+
+// append stamps the event's sequence number and wakes subscribers.
+// Appending to a closed log is a no-op: late shard completions racing a
+// job's terminal state must not resurrect a finished stream.
+func (l *eventLog) append(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	e.Seq = len(l.events)
+	l.events = append(l.events, e)
+	for ch := range l.subs {
+		select {
+		case ch <- struct{}{}:
+		default: // already signalled; the subscriber will catch up
+		}
+	}
+}
+
+// close marks the log terminal and wakes every subscriber one last
+// time so streams can observe the end and finish.
+func (l *eventLog) close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	for ch := range l.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// since returns the events at sequence ≥ from and whether the log is
+// terminal (no more events will ever arrive).
+func (l *eventLog) since(from int) (events []Event, terminal bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from < len(l.events) {
+		events = append(events, l.events[from:]...)
+	}
+	return events, l.closed
+}
+
+// subscribe registers a wake-up channel for new appends.
+func (l *eventLog) subscribe() chan struct{} {
+	ch := make(chan struct{}, 1)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.subs[ch] = struct{}{}
+	return ch
+}
+
+func (l *eventLog) unsubscribe(ch chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.subs, ch)
+}
+
+// subscribers is a test hook: the number of live stream followers.
+func (l *eventLog) subscribers() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.subs)
+}

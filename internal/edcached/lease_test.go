@@ -1,0 +1,225 @@
+package edcached
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable lease clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestShardTableSplitCoversGridContiguously(t *testing.T) {
+	tb := newShardTable(10, 3, time.Second, 5)
+	if len(tb.shards) != 3 {
+		t.Fatalf("want 3 shards, got %d", len(tb.shards))
+	}
+	next := 0
+	for i, s := range tb.shards {
+		if len(s.ids) == 0 {
+			t.Fatalf("shard %d empty", i)
+		}
+		for _, id := range s.ids {
+			if id != next {
+				t.Fatalf("shard %d: id %d, want %d (contiguous cover)", i, id, next)
+			}
+			next++
+		}
+	}
+	if next != 10 {
+		t.Fatalf("shards cover %d of 10 tasks", next)
+	}
+	// More shards than tasks clamps to one task per shard.
+	if tb := newShardTable(2, 8, time.Second, 5); len(tb.shards) != 2 {
+		t.Fatalf("2 tasks over 8 shards: got %d shards", len(tb.shards))
+	}
+}
+
+func TestLeaseExpiryReissuesAndStaleRenewFails(t *testing.T) {
+	clk := newFakeClock()
+	tb := newShardTable(4, 1, time.Second, 5)
+	tb.now = clk.now
+
+	idx, gen, ids, ok := tb.claim("a")
+	if !ok || idx != 0 || len(ids) != 4 {
+		t.Fatalf("claim failed: idx=%d ids=%v ok=%v", idx, ids, ok)
+	}
+	if !tb.renew(idx, gen) {
+		t.Fatal("live lease refused renewal")
+	}
+	// Renewal pushed expiry to now+ttl; advancing past it expires.
+	clk.advance(1500 * time.Millisecond)
+	expired := tb.expireDue()
+	if len(expired) != 1 || expired[0] != 0 {
+		t.Fatalf("expireDue = %v", expired)
+	}
+	if tb.renew(idx, gen) {
+		t.Fatal("expired lease renewed")
+	}
+	idx2, gen2, _, ok := tb.claim("b")
+	if !ok || idx2 != idx || gen2 == gen {
+		t.Fatalf("re-claim: idx=%d gen=%d (old gen %d) ok=%v", idx2, gen2, gen, ok)
+	}
+	if tb.renew(idx, gen) {
+		t.Fatal("stale holder renewed the re-issued lease")
+	}
+	if !tb.renew(idx2, gen2) {
+		t.Fatal("new holder cannot renew")
+	}
+	if st := tb.statuses()[0]; st.Attempts != 1 || st.Owner != "b" {
+		t.Fatalf("status after expiry: %+v", st)
+	}
+}
+
+func TestConcurrentClaimsExactlyOneWinner(t *testing.T) {
+	tb := newShardTable(6, 1, time.Minute, 5)
+	const claimers = 16
+	var wg sync.WaitGroup
+	wins := make(chan string, claimers)
+	for i := 0; i < claimers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, _, _, ok := tb.claim(string(rune('a' + i))); ok {
+				wins <- "win"
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(wins)
+	n := 0
+	for range wins {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("%d claimers won a single-shard table", n)
+	}
+}
+
+// TestCompleteAcceptedFromStaleHolder pins the protocol's central
+// simplification: results are idempotent through the store, so a
+// completion is welcome from any holder — including one whose lease
+// already expired and was re-issued.
+func TestCompleteAcceptedFromStaleHolder(t *testing.T) {
+	clk := newFakeClock()
+	tb := newShardTable(3, 1, time.Second, 5)
+	tb.now = clk.now
+
+	idx, _, _, _ := tb.claim("slow")
+	clk.advance(2 * time.Second)
+	tb.expireDue()
+	if _, _, _, ok := tb.claim("fast"); !ok {
+		t.Fatal("expired shard not re-claimable")
+	}
+	// The slow (stale) worker finishes anyway: accepted, shard done.
+	if !tb.complete(idx) {
+		t.Fatal("stale completion refused")
+	}
+	if tb.complete(idx) {
+		t.Fatal("double completion counted twice")
+	}
+	select {
+	case <-tb.wait():
+	default:
+		t.Fatal("all shards done but table not finished")
+	}
+	if err := tb.err(); err != nil {
+		t.Fatalf("finished table reports error: %v", err)
+	}
+}
+
+func TestPenaltyCapPoisonsTable(t *testing.T) {
+	tb := newShardTable(2, 2, time.Minute, 3)
+	for i := 0; i < 3; i++ {
+		idx, gen, _, ok := tb.claim("flaky")
+		if !ok {
+			t.Fatalf("attempt %d: claim failed", i)
+		}
+		tb.fail(idx, gen, true)
+	}
+	select {
+	case <-tb.wait():
+	default:
+		t.Fatal("poisoned table not finished")
+	}
+	if tb.err() == nil {
+		t.Fatal("poisoned table reports no error")
+	}
+	if _, _, _, ok := tb.claim("next"); ok {
+		t.Fatal("poisoned table still leases")
+	}
+}
+
+func TestCleanHandbackBurnsNoAttempt(t *testing.T) {
+	tb := newShardTable(2, 1, time.Minute, 2)
+	for i := 0; i < 5; i++ {
+		idx, gen, _, ok := tb.claim("drained")
+		if !ok {
+			t.Fatalf("round %d: claim failed", i)
+		}
+		tb.fail(idx, gen, false) // drain/cancel hand-back
+	}
+	if tb.err() != nil {
+		t.Fatal("penalty-free hand-backs poisoned the table")
+	}
+	if st := tb.statuses()[0]; st.Attempts != 0 {
+		t.Fatalf("clean hand-backs counted attempts: %+v", st)
+	}
+}
+
+func TestEventLogReplayFollowAndClose(t *testing.T) {
+	l := newEventLog()
+	l.append(Event{Type: "state", State: JobQueued})
+	l.append(Event{Type: "point", Task: 0})
+
+	events, terminal := l.since(0)
+	if len(events) != 2 || terminal {
+		t.Fatalf("since(0): %d events terminal=%v", len(events), terminal)
+	}
+	if events[0].Seq != 0 || events[1].Seq != 1 {
+		t.Fatalf("bad sequence numbers: %+v", events)
+	}
+	if tail, _ := l.since(1); len(tail) != 1 || tail[0].Type != "point" {
+		t.Fatalf("since(1): %+v", tail)
+	}
+
+	wake := l.subscribe()
+	if l.subscribers() != 1 {
+		t.Fatalf("subscribers = %d", l.subscribers())
+	}
+	l.append(Event{Type: "point", Task: 1})
+	select {
+	case <-wake:
+	default:
+		t.Fatal("append did not wake the subscriber")
+	}
+	l.close()
+	if _, terminal := l.since(0); !terminal {
+		t.Fatal("closed log not terminal")
+	}
+	l.append(Event{Type: "point", Task: 9})
+	if events, _ := l.since(0); len(events) != 3 {
+		t.Fatalf("append after close landed: %d events", len(events))
+	}
+	l.unsubscribe(wake)
+	if l.subscribers() != 0 {
+		t.Fatal("unsubscribe did not remove the channel")
+	}
+}

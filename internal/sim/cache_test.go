@@ -6,11 +6,15 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"reflect"
+	"syscall"
 	"testing"
 	"time"
 
 	"edcache/internal/store"
+	"edcache/internal/store/errfs"
 )
 
 // gridExperiment is a deterministic 2-metric grid for cache tests.
@@ -227,5 +231,78 @@ func TestInterruptedSweepResumesByteIdentical(t *testing.T) {
 	}
 	if st := resumed.Stats(); st.Hits == 0 {
 		t.Fatalf("resume recomputed everything: %+v", st)
+	}
+}
+
+// TestStoreCachePutENOSPCDoesNotFailSweep pins the best-effort Put
+// contract under a full disk: every checkpoint write fails with ENOSPC
+// (injected at the write syscall via errfs beneath a real store), yet
+// the sweep completes with results identical to an uncached run — a
+// dying store degrades checkpointing, never correctness.
+func TestStoreCachePutENOSPCDoesNotFailSweep(t *testing.T) {
+	e := gridExperiment("enospc", 8)
+	want, err := Runner{Workers: 2}.Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fs := errfs.New(store.OSFS{}, func(_ int, s errfs.Step) *errfs.Fault {
+		if s.Op == errfs.OpWrite || s.Op == errfs.OpSync {
+			return &errfs.Fault{Err: syscall.ENOSPC}
+		}
+		return nil
+	})
+	st, err := store.OpenFS(fs, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := &StoreCache{Store: st, Scope: []string{"mod@test", "opts", "seed=0"}, Read: true}
+	got, err := Runner{Workers: 2, Cache: cache}.Run(e)
+	if err != nil {
+		t.Fatalf("ENOSPC checkpoints failed the sweep: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("sweep under ENOSPC differs from plain run")
+	}
+	if stats := cache.Stats(); stats.PutErrors != 8 || stats.Hits != 0 {
+		t.Fatalf("want 8 failed checkpoints and 0 hits, got %+v", stats)
+	}
+}
+
+// TestStoreCachePutReadOnlyDirDoesNotFailSweep is the same contract
+// against a genuinely unwritable store directory (chmod a-w): every Put
+// fails at MkdirAll/Create, the sweep is unaffected.
+func TestStoreCachePutReadOnlyDirDoesNotFailSweep(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chmod(dir, 0o755) })
+	// Root (and some container filesystems) ignore permission bits;
+	// probe, and skip when the directory is not actually read-only.
+	if probe := filepath.Join(dir, "probe"); os.Mkdir(probe, 0o755) == nil {
+		os.Remove(probe)
+		t.Skip("permission bits not enforced here (running as root?)")
+	}
+
+	e := gridExperiment("readonly", 6)
+	want, err := Runner{Workers: 2}.Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(dir) // MkdirAll on an existing dir succeeds read-only
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := &StoreCache{Store: st, Scope: []string{"mod@test", "opts", "seed=0"}, Read: true}
+	got, err := Runner{Workers: 3, Cache: cache}.Run(e)
+	if err != nil {
+		t.Fatalf("read-only store failed the sweep: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("sweep over a read-only store differs from plain run")
+	}
+	if stats := cache.Stats(); stats.PutErrors != 6 {
+		t.Fatalf("want 6 failed checkpoints, got %+v", stats)
 	}
 }

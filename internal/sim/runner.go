@@ -46,6 +46,14 @@ type Runner struct {
 	// written after it completes — the durable-resume hook (see
 	// StoreCache). Cache hits bypass Run entirely.
 	Cache ResultCache
+
+	// Progress, when non-nil, is invoked once for every task that
+	// completes successfully — computed or served from Cache — with the
+	// fully stamped result. It is called from worker goroutines, so it
+	// must be safe for concurrent use, and it is the service layer's
+	// per-grid-point event hook: failures and retries are not reported
+	// here, they surface through the run's returned error.
+	Progress func(r Result, cached bool)
 }
 
 // workers returns the effective pool size for n tasks.
@@ -86,7 +94,42 @@ func (r Runner) Run(e Experiment) ([]Result, error) {
 // name the experiment and grid point.
 func (r Runner) RunContext(ctx context.Context, e Experiment) ([]Result, error) {
 	tasks := e.Grid()
-	n := len(tasks)
+	ids := make([]int, len(tasks))
+	for i := range ids {
+		ids[i] = i
+	}
+	results, err := r.runTasks(ctx, e, tasks, ids)
+	if err != nil {
+		return results, err
+	}
+	return Finish(e, results)
+}
+
+// RunTasks runs the subset of the experiment's grid named by ids (grid
+// indices) and returns their results in ids order. Every task keeps its
+// global grid identity — the same ID, the same derived seed — so a grid
+// computed shard by shard, by any number of processes in any order, is
+// byte-identical to one computed whole: the sharded-sweep primitive of
+// the service layer. The Finish hook is NOT applied (it needs the whole
+// grid); assemble the full result set and call Finish explicitly.
+//
+// Error semantics match RunContext: on failure the completed results
+// (in ids order) come back alongside the error.
+func (r Runner) RunTasks(ctx context.Context, e Experiment, ids []int) ([]Result, error) {
+	tasks := e.Grid()
+	for _, id := range ids {
+		if id < 0 || id >= len(tasks) {
+			return nil, fmt.Errorf("sim: %s: task id %d outside grid [0, %d)", e.Name(), id, len(tasks))
+		}
+	}
+	return r.runTasks(ctx, e, tasks, ids)
+}
+
+// runTasks is the pooled execution core shared by RunContext (all ids)
+// and RunTasks (a shard): positions index ids, task identity comes from
+// the grid.
+func (r Runner) runTasks(ctx context.Context, e Experiment, tasks []Task, ids []int) ([]Result, error) {
+	n := len(ids)
 	results := make([]Result, n)
 	done := make([]bool, n)
 	errs := make([]error, n)
@@ -94,7 +137,8 @@ func (r Runner) RunContext(ctx context.Context, e Experiment) ([]Result, error) 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	runOne := func(i int) {
+	runOne := func(pos int) {
+		i := ids[pos]
 		t := tasks[i]
 		t.ID = i
 		t.Seed = SubSeed(r.Seed, e.Name(), i)
@@ -105,27 +149,33 @@ func (r Runner) RunContext(ctx context.Context, e Experiment) ([]Result, error) 
 				// get wrong even for a hand-rolled cache.
 				res.Experiment = e.Name()
 				res.Task = t
-				results[i], done[i] = res, true
+				results[pos], done[pos] = res, true
+				if r.Progress != nil {
+					r.Progress(res, true)
+				}
 				return
 			}
 		}
 		res, err := r.attempt(runCtx, e, t)
 		if err != nil {
-			errs[i] = err
+			errs[pos] = err
 			cancel() // first failure stops dispatching new tasks
 			return
 		}
 		res.Experiment = e.Name()
 		res.Task = t
-		results[i], done[i] = res, true
+		results[pos], done[pos] = res, true
 		if r.Cache != nil {
 			r.Cache.Put(e.Name(), t, res)
+		}
+		if r.Progress != nil {
+			r.Progress(res, false)
 		}
 	}
 
 	if workers := r.workers(n); workers == 1 {
-		for i := 0; i < n && runCtx.Err() == nil; i++ {
-			runOne(i)
+		for pos := 0; pos < n && runCtx.Err() == nil; pos++ {
+			runOne(pos)
 		}
 	} else {
 		jobs := make(chan int)
@@ -134,15 +184,15 @@ func (r Runner) RunContext(ctx context.Context, e Experiment) ([]Result, error) 
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for i := range jobs {
-					runOne(i)
+				for pos := range jobs {
+					runOne(pos)
 				}
 			}()
 		}
 	feed:
-		for i := 0; i < n; i++ {
+		for pos := 0; pos < n; pos++ {
 			select {
-			case jobs <- i:
+			case jobs <- pos:
 			case <-runCtx.Done():
 				break feed
 			}
@@ -163,24 +213,34 @@ func (r Runner) RunContext(ctx context.Context, e Experiment) ([]Result, error) 
 	}
 	if firstErr != nil {
 		partial := results[:0:0]
-		for i, ok := range done {
+		for pos, ok := range done {
 			if ok {
-				partial = append(partial, results[i])
+				partial = append(partial, results[pos])
 			}
 		}
 		return partial, firstErr
 	}
+	return results, nil
+}
 
-	if f, ok := e.(Finisher); ok {
-		var err error
-		results, err = f.Finish(results)
-		if err != nil {
-			return nil, fmt.Errorf("%s: finish: %w", e.Name(), err)
-		}
-		for i := range results {
-			if results[i].Experiment == "" {
-				results[i].Experiment = e.Name()
-			}
+// Finish applies the experiment's Finisher hook — summary rows derived
+// from the complete, grid-ordered result set — stamping any rows the
+// hook added with the experiment name. Experiments without a Finisher
+// pass through unchanged. Callers that assemble a grid from shards
+// (RunTasks) use this to get the exact result set RunContext would have
+// produced.
+func Finish(e Experiment, results []Result) ([]Result, error) {
+	f, ok := e.(Finisher)
+	if !ok {
+		return results, nil
+	}
+	results, err := f.Finish(results)
+	if err != nil {
+		return nil, fmt.Errorf("%s: finish: %w", e.Name(), err)
+	}
+	for i := range results {
+		if results[i].Experiment == "" {
+			results[i].Experiment = e.Name()
 		}
 	}
 	return results, nil

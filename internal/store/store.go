@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"path/filepath"
 	"strings"
 	"sync/atomic"
@@ -36,20 +37,39 @@ type Store struct {
 	hits        atomic.Uint64
 	misses      atomic.Uint64
 	quarantined atomic.Uint64
+	quarFiles   atomic.Uint64 // entries in quarantine/ (counted at Open, tracked since)
 }
 
 // Stats is a snapshot of a store's traffic counters.
 type Stats struct {
 	Hits        uint64 // Get served a validated payload
 	Misses      uint64 // Get found nothing usable (absent, unreadable, corrupt, future-version)
-	Quarantined uint64 // corrupt entries moved aside by Get
+	Quarantined uint64 // corrupt entries moved aside (or, over the cap, deleted) by Get
+	// QuarantineFiles is the number of entries currently parked in
+	// <dir>/quarantine — counted once at Open and maintained as Get
+	// quarantines more — so a service endpoint can watch a flapping
+	// disk's debris accumulate instead of discovering a full volume.
+	QuarantineFiles uint64
 }
 
 const (
 	entryExt      = ".res"
 	tmpExt        = ".tmp"
 	quarantineDir = "quarantine"
+
+	// QuarantineWarn is the quarantine population above which Open logs
+	// a one-line warning: that many damaged entries means the disk (or a
+	// writer) is flapping, not that one page was torn.
+	QuarantineWarn = 100
+	// QuarantineCap bounds quarantine growth: once the directory holds
+	// this many entries, newly damaged files are deleted instead of
+	// preserved, so a flapping disk cannot silently fill the volume with
+	// its own corruption.
+	QuarantineCap = 1024
 )
+
+// logf is the store's warning sink, swappable by tests.
+var logf = log.Printf
 
 // Open opens (creating if needed) a store rooted at dir on the real
 // filesystem.
@@ -65,7 +85,30 @@ func OpenFS(fsys FS, dir string) (*Store, error) {
 	}
 	s := &Store{fs: fsys, dir: dir}
 	s.sweepTmp()
+	if n := s.countQuarantine(); n > 0 {
+		s.quarFiles.Store(n)
+		if n > QuarantineWarn {
+			logf("store: %s holds %d quarantined entries (warn threshold %d): the disk or a writer is flapping; inspect or clear %s",
+				dir, n, QuarantineWarn, filepath.Join(dir, quarantineDir))
+		}
+	}
 	return s, nil
+}
+
+// countQuarantine counts the .res entries parked in the quarantine
+// directory; unreadable means zero (the directory may not exist yet).
+func (s *Store) countQuarantine() uint64 {
+	entries, err := s.fs.ReadDir(filepath.Join(s.dir, quarantineDir))
+	if err != nil {
+		return 0
+	}
+	var n uint64
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), entryExt) {
+			n++
+		}
+	}
+	return n
 }
 
 // Dir returns the store's root directory.
@@ -74,9 +117,10 @@ func (s *Store) Dir() string { return s.dir }
 // Stats returns a snapshot of the traffic counters.
 func (s *Store) Stats() Stats {
 	return Stats{
-		Hits:        s.hits.Load(),
-		Misses:      s.misses.Load(),
-		Quarantined: s.quarantined.Load(),
+		Hits:            s.hits.Load(),
+		Misses:          s.misses.Load(),
+		Quarantined:     s.quarantined.Load(),
+		QuarantineFiles: s.quarFiles.Load(),
 	}
 }
 
@@ -162,12 +206,19 @@ func (s *Store) Put(d Digest, payload []byte) error {
 
 // quarantine moves a damaged entry to <dir>/quarantine/<digest>.res,
 // falling back to deleting it; if both fail the entry stays put, which
-// costs a revalidation per Get but remains a miss.
+// costs a revalidation per Get but remains a miss. Once the quarantine
+// holds QuarantineCap entries, damaged files are deleted outright —
+// preserving evidence is worth bounded space, never the whole volume.
 func (s *Store) quarantine(path string, d Digest) {
 	s.quarantined.Add(1)
+	if s.quarFiles.Load() >= QuarantineCap {
+		s.fs.Remove(path)
+		return
+	}
 	qdir := filepath.Join(s.dir, quarantineDir)
 	if err := s.fs.MkdirAll(qdir, 0o755); err == nil {
 		if s.fs.Rename(path, filepath.Join(qdir, d.String()+entryExt)) == nil {
+			s.quarFiles.Add(1)
 			return
 		}
 	}

@@ -3,6 +3,7 @@ package store
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -229,5 +230,111 @@ func TestStoreConcurrentPutGet(t *testing.T) {
 func TestModuleVersionNonEmpty(t *testing.T) {
 	if ModuleVersion() == "" {
 		t.Fatal("empty module version")
+	}
+}
+
+// seedQuarantine parks n pre-damaged entries in dir/quarantine, the way
+// a flapping disk would have left them across earlier sessions.
+func seedQuarantine(t *testing.T, dir string, n int) {
+	t.Helper()
+	qdir := filepath.Join(dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		name := NewDigest("debris", strings.Repeat("x", i%7), string(rune(i))).String() + entryExt
+		if err := os.WriteFile(filepath.Join(qdir, name), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// captureLog swaps the store's warning sink for the test's duration and
+// returns the collected lines.
+func captureLog(t *testing.T) *[]string {
+	t.Helper()
+	var lines []string
+	orig := logf
+	logf = func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+	t.Cleanup(func() { logf = orig })
+	return &lines
+}
+
+func TestOpenCountsQuarantineFiles(t *testing.T) {
+	dir := t.TempDir()
+	seedQuarantine(t, dir, 3)
+	// A non-entry file and a subdirectory must not count.
+	if err := os.WriteFile(filepath.Join(dir, quarantineDir, "notes.txt"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	logs := captureLog(t)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.QuarantineFiles != 3 {
+		t.Fatalf("QuarantineFiles = %d, want 3: %+v", st.QuarantineFiles, st)
+	}
+	if len(*logs) != 0 {
+		t.Fatalf("below-threshold quarantine warned: %q", *logs)
+	}
+}
+
+func TestOpenWarnsAboveQuarantineThreshold(t *testing.T) {
+	dir := t.TempDir()
+	seedQuarantine(t, dir, QuarantineWarn+1)
+	logs := captureLog(t)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.QuarantineFiles != QuarantineWarn+1 {
+		t.Fatalf("QuarantineFiles = %d, want %d", st.QuarantineFiles, QuarantineWarn+1)
+	}
+	if len(*logs) != 1 || !strings.Contains((*logs)[0], "quarantined entries") {
+		t.Fatalf("want exactly one quarantine warning, got %q", *logs)
+	}
+}
+
+// TestQuarantineCapDeletesInsteadOfGrowing: with the quarantine already
+// at capacity, a newly damaged entry is deleted — still a counted miss,
+// never served — instead of adding to the debris pile.
+func TestQuarantineCapDeletesInsteadOfGrowing(t *testing.T) {
+	dir := t.TempDir()
+	seedQuarantine(t, dir, QuarantineCap)
+	logs := captureLog(t)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = logs // warning expected; asserted by the threshold test above
+
+	d := NewDigest("over-cap victim")
+	if err := s.Put(d, []byte("result")); err != nil {
+		t.Fatal(err)
+	}
+	path := s.entryPath(d)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(d); ok {
+		t.Fatal("corrupt entry served")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("over-cap corrupt entry not deleted: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, quarantineDir, d.String()+entryExt)); !os.IsNotExist(err) {
+		t.Fatalf("over-cap entry landed in quarantine anyway: %v", err)
+	}
+	st := s.Stats()
+	if st.Quarantined != 1 || st.QuarantineFiles != QuarantineCap {
+		t.Fatalf("cap accounting wrong: %+v", st)
 	}
 }

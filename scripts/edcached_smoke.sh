@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the edcached service: build both binaries, start
+# a server with no in-process workers, submit a job, SIGKILL the first
+# external worker mid-run (its lease must expire and the shard be
+# re-leased), let a replacement worker finish, and require the served
+# result bytes to be identical to a solo cmd/experiments run of the
+# same spec. No jq: job id and state are cut out with sed.
+set -euo pipefail
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+cd "$root"
+work=$(mktemp -d)
+cleanup() {
+  # shellcheck disable=SC2046 -- word-splitting the pid list is the point
+  kill $(jobs -p) 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+go build -o "$work/edcached" ./cmd/edcached
+go build -o "$work/experiments" ./cmd/experiments
+
+spec='{"experiment":"headline","seed":3,"options":{"instructions":2000},"shards":4}'
+
+# Golden bytes: the CLI running the same experiment, seed and options.
+"$work/experiments" -run headline -instructions 2000 -seed 3 -format json \
+  > "$work/golden.json"
+
+"$work/edcached" -data "$work/data" -listen 127.0.0.1:0 -workers 0 \
+  -lease-ttl 1s > "$work/server.log" &
+
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's/^edcached: listening on //p' "$work/server.log")
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+if [ -z "$addr" ]; then
+  echo "edcached smoke: server never printed its address" >&2
+  cat "$work/server.log" >&2
+  exit 1
+fi
+base="http://$addr"
+curl -fsS "$base/healthz" > /dev/null
+
+job=$(curl -fsS -X POST "$base/jobs" -d "$spec" \
+  | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+if [ -z "$job" ]; then
+  echo "edcached smoke: job submission returned no id" >&2
+  exit 1
+fi
+
+# First worker: killed hard mid-run. SIGKILL means no drain, no clean
+# hand-back — recovery must come from lease expiry alone.
+"$work/edcached" -worker -server "$base" -name doomed -poll 50ms \
+  > /dev/null 2>&1 &
+doomed=$!
+sleep 0.3
+{ kill -9 "$doomed" && wait "$doomed"; } 2>/dev/null || true
+
+# The replacement claims the expired shards and finishes the job; every
+# point the doomed worker checkpointed replays from the store.
+"$work/edcached" -worker -server "$base" -name relief -poll 50ms \
+  > /dev/null 2>&1 &
+
+state=""
+for _ in $(seq 1 300); do
+  state=$(curl -fsS "$base/jobs/$job" \
+    | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+  case "$state" in
+    done) break ;;
+    failed|cancelled|quarantined)
+      echo "edcached smoke: job $job ended $state" >&2
+      curl -fsS "$base/jobs/$job/events" >&2 || true
+      exit 1 ;;
+  esac
+  sleep 0.1
+done
+if [ "$state" != done ]; then
+  echo "edcached smoke: job $job never finished (state=$state)" >&2
+  exit 1
+fi
+
+curl -fsS "$base/jobs/$job/result?format=json" > "$work/served.json"
+cmp "$work/golden.json" "$work/served.json"
+echo "edcached smoke: job $job survived a SIGKILLed worker; served bytes identical to cmd/experiments"
